@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHomogeneousProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.csv")
+	var out bytes.Buffer
+	if err := run([]string{"-n", "2048", "-family", "exponential", "-height", "1.5",
+		"-cl", "10", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "profile n=2048") {
+		t.Errorf("missing summary: %s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Count(data, []byte("\n"))
+	if lines != 2048 {
+		t.Errorf("CSV has %d rows", lines)
+	}
+	if !bytes.HasPrefix(data, []byte("-1024,")) {
+		t.Errorf("first row should start at x=-1024: %q", data[:20])
+	}
+}
+
+func TestPiecewiseProfile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "1024", "-family", "gaussian", "-height", "0.3", "-cl", "8",
+		"-family2", "exponential", "-height2", "3", "-cl2", "8", "-break", "0", "-t", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "profile n=1024") {
+		t.Errorf("missing summary: %s", out.String())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "wavelet"}, &out); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run([]string{"-n", "1"}, &out); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if err := run([]string{"-family2", "sinusoid"}, &out); err == nil {
+		t.Error("unknown second family accepted")
+	}
+	if err := run([]string{"-height", "0"}, &out); err == nil {
+		t.Error("h=0 accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command rrsfig regenerates the paper's evaluation figures (§4,
+// Figures 1–4) and reports per-region measured-vs-target statistics —
+// the reproduction harness behind EXPERIMENTS.md.
+//
+//	rrsfig -fig all -out figures/
+//	rrsfig -fig 3 -n 512 -seed 9 -ascii
+//
+// For each figure it writes <out>/figN.grid (binary surface),
+// figN.pgm + figN.ppm (images), and figN_stats.txt (probe table).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"roughsurface/internal/figures"
+	"roughsurface/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrsfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rrsfig", flag.ContinueOnError)
+	fs.SetOutput(out)
+	figArg := fs.String("fig", "all", "figure to regenerate: 1, 2, 3, 4 or all")
+	n := fs.Int("n", figures.Size, "grid resolution (paper extent is kept; dx scales)")
+	seed := fs.Uint64("seed", 1, "noise seed")
+	outDir := fs.String("out", ".", "output directory")
+	ascii := fs.Bool("ascii", false, "print ASCII previews")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ids []int
+	if *figArg == "all" {
+		ids = []int{1, 2, 3, 4}
+	} else {
+		var id int
+		if _, err := fmt.Sscanf(*figArg, "%d", &id); err != nil {
+			return fmt.Errorf("bad -fig %q", *figArg)
+		}
+		ids = []int{id}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	for _, id := range ids {
+		f, err := figures.Get(id, *n, *seed)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		surf, probes, err := figures.Run(f)
+		if err != nil {
+			return fmt.Errorf("figure %d: %w", id, err)
+		}
+		elapsed := time.Since(start)
+
+		base := filepath.Join(*outDir, fmt.Sprintf("fig%d", id))
+		if err := surf.SaveFile(base + ".grid"); err != nil {
+			return err
+		}
+		if err := render.SavePGM(base+".pgm", surf); err != nil {
+			return err
+		}
+		if err := render.SavePPM(base+".ppm", surf); err != nil {
+			return err
+		}
+		if err := render.SaveHillshade(base+"_shade.ppm", surf); err != nil {
+			return err
+		}
+		table := figures.FormatResults(probes)
+		if err := os.WriteFile(base+"_stats.txt", []byte(table), 0o644); err != nil {
+			return err
+		}
+
+		fmt.Fprintf(out, "Figure %d — %s\n", f.ID, f.Caption)
+		fmt.Fprintf(out, "  %dx%d grid, dx=%g, generated in %v\n", surf.Nx, surf.Ny, surf.Dx, elapsed.Round(time.Millisecond))
+		fmt.Fprint(out, table)
+		pooled := figures.GroupMeans(probes)
+		groups := make([]string, 0, len(pooled))
+		for g := range pooled {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		fmt.Fprint(out, "  pooled per group:")
+		for _, g := range groups {
+			fmt.Fprintf(out, " %s=%.3f", g, pooled[g])
+		}
+		fmt.Fprintln(out)
+		if *ascii {
+			if err := render.ASCII(out, surf, 96); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

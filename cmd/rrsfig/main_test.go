@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/grid"
+)
+
+func TestRegenerateOneFigureReduced(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "3", "-n", "128", "-seed", "2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.LoadFile(filepath.Join(dir, "fig3.grid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nx != 128 {
+		t.Errorf("figure grid %dx%d", g.Nx, g.Ny)
+	}
+	for _, f := range []string{"fig3.pgm", "fig3.ppm", "fig3_shade.ppm", "fig3_stats.txt"} {
+		if fi, err := os.Stat(filepath.Join(dir, f)); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty", f)
+		}
+	}
+	text := out.String()
+	if !strings.Contains(text, "Figure 3") || !strings.Contains(text, "pond") {
+		t.Errorf("report incomplete:\n%s", text)
+	}
+	stats, _ := os.ReadFile(filepath.Join(dir, "fig3_stats.txt"))
+	if !strings.Contains(string(stats), "plain") {
+		t.Error("stats table incomplete")
+	}
+}
+
+func TestAllFiguresReducedAndASCII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four figures")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "all", "-n", "96", "-out", dir, "-ascii"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for id := 1; id <= 4; id++ {
+		if _, err := os.Stat(filepath.Join(dir, "fig"+string(rune('0'+id))+".grid")); err != nil {
+			t.Errorf("figure %d grid missing", id)
+		}
+	}
+	if strings.Count(out.String(), "pooled per group:") != 4 {
+		t.Error("expected four pooled summaries")
+	}
+}
+
+func TestBadFigureRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "9"}, &out); err == nil {
+		t.Error("figure 9 accepted")
+	}
+	if err := run([]string{"-fig", "two"}, &out); err == nil {
+		t.Error("non-numeric figure accepted")
+	}
+}

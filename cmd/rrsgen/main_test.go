@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/grid"
+)
+
+func TestQuickModeWritesAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	gridPath := filepath.Join(dir, "s.grid")
+	csvPath := filepath.Join(dir, "s.csv")
+	xyzPath := filepath.Join(dir, "s.xyz")
+	pgmPath := filepath.Join(dir, "s.pgm")
+	ppmPath := filepath.Join(dir, "s.ppm")
+	shadePath := filepath.Join(dir, "s_shade.ppm")
+	var out bytes.Buffer
+	err := run([]string{
+		"-nx", "64", "-ny", "48", "-family", "exponential", "-height", "1.5", "-cl", "6",
+		"-seed", "3", "-o", gridPath, "-csv", csvPath, "-xyz", xyzPath,
+		"-pgm", pgmPath, "-ppm", ppmPath, "-shade", shadePath, "-ascii",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.LoadFile(gridPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nx != 64 || g.Ny != 48 {
+		t.Errorf("stored grid %dx%d", g.Nx, g.Ny)
+	}
+	for _, p := range []string{csvPath, xyzPath, pgmPath, ppmPath, shadePath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("output %s missing or empty", p)
+		}
+	}
+	if !strings.Contains(out.String(), "generated 64x48 surface") {
+		t.Errorf("missing summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "#") { // ASCII art uses ramp glyphs
+		t.Error("missing ASCII preview")
+	}
+}
+
+func TestSceneModeOverridesQuickFlags(t *testing.T) {
+	dir := t.TempDir()
+	scenePath := filepath.Join(dir, "scene.json")
+	scene := `{
+	  "nx": 32, "ny": 32, "method": "plate",
+	  "regions": [
+	    {"shape": "circle", "r": 10, "t": 3, "spectrum": {"family": "gaussian", "h": 0.2, "cl": 4}},
+	    {"shape": "outside-circle", "r": 10, "t": 3, "spectrum": {"family": "gaussian", "h": 1.0, "cl": 4}}
+	  ]
+	}`
+	if err := os.WriteFile(scenePath, []byte(scene), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gridPath := filepath.Join(dir, "s.grid")
+	var out bytes.Buffer
+	if err := run([]string{"-scene", scenePath, "-nx", "999", "-o", gridPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	g, err := grid.LoadFile(gridPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Nx != 32 {
+		t.Errorf("scene nx not honored: %d", g.Nx)
+	}
+	if !strings.Contains(out.String(), "component 1 kernel") {
+		t.Errorf("plate scene should report two kernels:\n%s", out.String())
+	}
+}
+
+func TestBadInputsFail(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-family", "triangular"}, &out); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run([]string{"-scene", "/nonexistent/scene.json"}, &out); err == nil {
+		t.Error("missing scene file accepted")
+	}
+	if err := run([]string{"-height", "-2"}, &out); err == nil {
+		t.Error("negative height accepted")
+	}
+	if err := run([]string{"-badflag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

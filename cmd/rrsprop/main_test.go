@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/spectrum"
+)
+
+func writeSurface(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.grid")
+	s := spectrum.MustGaussian(1.0, 8, 8)
+	surf := convgen.NewGenerator(convgen.MustDesign(s, 1, 1, 8, 1e-4), 5).GenerateCentered(256, 64)
+	if err := surf.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSweepReport(t *testing.T) {
+	path := writeSurface(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", path, "-from", "-100,0", "-dir", "1,0",
+		"-dmax", "150", "-step", "50", "-budget", "120"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"sweep from (-100, 0)", "FSPL[dB]", "range at 120.0 dB budget"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Count(text, "\n") < 6 { // header + 3 rows + range line
+		t.Errorf("too few rows:\n%s", text)
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	a, b, err := parsePair(" 1.5, -2 ")
+	if err != nil || a != 1.5 || b != -2 {
+		t.Errorf("parsePair: %g %g %v", a, b, err)
+	}
+	if _, _, err := parsePair("1"); err == nil {
+		t.Error("single value accepted")
+	}
+	if _, _, err := parsePair("a,b"); err == nil {
+		t.Error("non-numeric accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	path := writeSurface(t)
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", path, "-step", "0"}, &out); err == nil {
+		t.Error("zero step accepted")
+	}
+	if err := run([]string{"-in", path, "-from", "bogus"}, &out); err == nil {
+		t.Error("bad -from accepted")
+	}
+	if err := run([]string{"-in", path, "-dir", "0,0"}, &out); err == nil {
+		t.Error("zero direction accepted")
+	}
+	if err := run([]string{"-in", path, "-dmax", "99999"}, &out); err == nil {
+		t.Error("out-of-extent sweep accepted")
+	}
+}

@@ -1,0 +1,81 @@
+// Command rrsstat reports the statistics of a stored surface: moments,
+// normality, estimated correlation lengths, and (optionally) the
+// autocovariance lag profiles — the quantities the paper prescribes
+// through W(K), h and cl.
+//
+//	rrsstat -in surface.grid -lags 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"roughsurface/internal/grid"
+	"roughsurface/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrsstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rrsstat", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "binary .grid surface file (required)")
+	lags := fs.Int("lags", 0, "print the autocovariance profile up to this lag")
+	ksStride := fs.Int("ks-stride", 0, "subsample stride for the normality test (0 = 3x the estimated correlation length)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	surf, err := grid.LoadFile(*in)
+	if err != nil {
+		return err
+	}
+
+	sum := stats.Describe(surf.Data)
+	fmt.Fprintf(out, "surface %dx%d  dx=%g dy=%g  origin=(%g, %g)\n",
+		surf.Nx, surf.Ny, surf.Dx, surf.Dy, surf.X0, surf.Y0)
+	fmt.Fprintln(out, " ", sum)
+
+	cov := stats.AutocovarianceFFT(surf)
+	clx := stats.CorrelationLength(stats.LagProfileX(cov, surf.Nx/2), surf.Dx)
+	cly := stats.CorrelationLength(stats.LagProfileY(cov, surf.Ny/2), surf.Dy)
+	fmt.Fprintf(out, "  estimated correlation lengths: clx=%.2f cly=%.2f (1/e crossing)\n", clx, cly)
+
+	// Normality on a decorrelated subsample.
+	stride := *ksStride
+	if stride <= 0 {
+		stride = int(3 * clx / surf.Dx)
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	var sub []float64
+	for iy := 0; iy < surf.Ny; iy += stride {
+		for ix := 0; ix < surf.Nx; ix += stride {
+			sub = append(sub, surf.At(ix, iy))
+		}
+	}
+	if len(sub) >= 8 {
+		d, p := stats.KSNormal(sub, sum.Mean, sum.Std)
+		fmt.Fprintf(out, "  KS normality (stride %d, n=%d): D=%.4f p=%.3f\n", stride, len(sub), d, p)
+	}
+
+	if *lags > 0 {
+		fmt.Fprintln(out, "  lag   C(dx,0)      C(0,dy)")
+		px := stats.LagProfileX(cov, *lags)
+		py := stats.LagProfileY(cov, *lags)
+		for i := 0; i < len(px) && i < len(py); i++ {
+			fmt.Fprintf(out, "  %4d  %11.5g  %11.5g\n", i, px[i], py[i])
+		}
+	}
+	return nil
+}

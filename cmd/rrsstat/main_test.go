@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/spectrum"
+)
+
+func TestReportContents(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.grid")
+	s := spectrum.MustGaussian(1.0, 8, 8)
+	surf := convgen.NewGenerator(convgen.MustDesign(s, 1, 1, 8, 1e-4), 5).GenerateCentered(128, 128)
+	if err := surf.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-lags", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"surface 128x128", "estimated correlation lengths", "KS normality", "lag   C(dx,0)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	// 4 lag rows plus header.
+	if n := strings.Count(text, "\n  "); n < 4 {
+		t.Errorf("expected lag rows, got:\n%s", text)
+	}
+}
+
+func TestRequiresInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent.grid"}, &out); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Propagation: the paper's motivating application — estimate sensor-
+// network link budgets across an inhomogeneous rough surface. A 2.4 GHz
+// link is swept eastward from a transmitter standing in a calm region
+// into progressively rougher terrain, and the usable communication
+// range is compared against a homogeneous rough field.
+//
+//	go run ./examples/propagation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"roughsurface/internal/core"
+	"roughsurface/internal/propag"
+)
+
+func main() {
+	// West half: calm ground (h = 0.2 m). East half: boulder field
+	// (h = 2.5 m). Grid units are meters.
+	zero := 0.0
+	scene := core.Scene{
+		Nx: 512, Ny: 256, Dx: 2, Dy: 2,
+		Method: core.MethodPlate,
+		Seed:   11,
+		Regions: []core.RegionSpec{
+			{Shape: "rect", X1: &zero, T: 30, Spectrum: core.SpectrumSpec{Family: "gaussian", H: 0.2, CL: 15}},
+			{Shape: "rect", X0: &zero, T: 30, Spectrum: core.SpectrumSpec{Family: "exponential", H: 2.5, CL: 10}},
+		},
+	}
+	res, err := core.Generate(scene)
+	if err != nil {
+		log.Fatal(err)
+	}
+	surf := res.Surface
+
+	link := propag.Link{Lambda: 0.125, TxH: 1.5, RxH: 1.5} // 2.4 GHz
+	distances := make([]float64, 0, 16)
+	for d := 50.0; d <= 800; d += 50 {
+		distances = append(distances, d)
+	}
+
+	// Transmitter on the calm side, sweeping east across the boundary.
+	results, err := propag.Sweep(surf, -450, 0, 1, 0, distances, link, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("link budget sweep, calm → rough terrain (2.4 GHz, antennas 1.5 m):")
+	fmt.Printf("%10s %12s %12s %12s %6s\n", "dist [m]", "FSPL [dB]", "diffr [dB]", "total [dB]", "edges")
+	for _, r := range results {
+		fmt.Printf("%10.0f %12.2f %12.2f %12.2f %6d\n",
+			r.Distance, r.FreeSpaceDB, r.DiffractionDB, r.TotalDB, len(r.Edges))
+	}
+
+	// Communication range at a 110 dB budget, as in the paper's ref [12]
+	// style of analysis.
+	budget := 110.0
+	fmt.Printf("\nrange at %.0f dB budget: %.0f m\n", budget, propag.RangeAt(results, budget))
+
+	// Average extra loss once the receiver is in the rough region.
+	var calm, rough, nc, nr float64
+	for _, r := range results {
+		if -450+r.Distance < 0 {
+			calm += r.DiffractionDB
+			nc++
+		} else {
+			rough += r.DiffractionDB
+			nr++
+		}
+	}
+	if nc > 0 && nr > 0 {
+		fmt.Printf("mean diffraction loss: %.1f dB over calm ground, %.1f dB into the rough region\n",
+			calm/nc, rough/nr)
+	}
+}

@@ -1,0 +1,62 @@
+// Scattering: evaluate classical rough-surface scattering observables
+// on generated terrain — the application the paper's introduction opens
+// with (radar/remote-sensing scattering from random rough surfaces).
+// Prints the geometric-optics backscatter curve σ⁰(θ) for a smooth and
+// a rough Gaussian surface, and the coherent-reflection (Rayleigh)
+// damping versus roughness.
+//
+//	go run ./examples/scattering
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/scatter"
+	"roughsurface/internal/spectrum"
+	"roughsurface/internal/stats"
+)
+
+func main() {
+	mk := func(h float64) ( /*surf*/ *scatter.SlopeHistogram, float64) {
+		s := spectrum.MustGaussian(h, 8, 8)
+		k := convgen.MustDesign(s, 1, 1, 8, 1e-5)
+		surf := convgen.NewGenerator(k, 42).GenerateCentered(512, 512)
+		sx2, sy2 := stats.SlopeVariance(surf)
+		s2 := (sx2 + sy2) / 2
+		hist, err := scatter.NewSlopeHistogram(surf, 48, 6*math.Sqrt(s2))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return hist, s2
+	}
+
+	smooth, s2smooth := mk(0.4)
+	rough, s2rough := mk(2.0)
+	fmt.Printf("slope variances: smooth %.4f, rough %.4f (analytic 2h²/cl²: %.4f, %.4f)\n\n",
+		s2smooth, s2rough, 2*0.4*0.4/64, 2*2.0*2.0/64)
+
+	fmt.Println("geometric-optics backscatter σ⁰(θ) [dB], |R| = 1:")
+	fmt.Printf("%8s %12s %12s\n", "θ [deg]", "smooth", "rough")
+	for _, deg := range []float64{0, 5, 10, 15, 20, 30} {
+		th := deg * math.Pi / 180
+		a := scatter.ToDB([]float64{scatter.GOBackscatter(smooth, th, 1)})[0]
+		b := scatter.ToDB([]float64{scatter.GOBackscatter(rough, th, 1)})[0]
+		fmt.Printf("%8.0f %12.2f %12.2f\n", deg, a, b)
+	}
+	fmt.Println("\n(smooth wins at nadir, rough wins off-nadir — the classic crossover)")
+
+	// Coherent reflection vs electromagnetic roughness k·h.
+	s := spectrum.MustGaussian(1.0, 10, 10)
+	k := convgen.MustDesign(s, 1, 1, 8, 1e-5)
+	surf := convgen.NewGenerator(k, 7).GenerateCentered(256, 256)
+	fmt.Println("\ncoherent reflection |⟨e^{2jkf}⟩| at nadir vs Rayleigh prediction:")
+	fmt.Printf("%8s %12s %12s\n", "k·h", "measured", "analytic")
+	for _, kw := range []float64{0.1, 0.25, 0.5, 1.0, 1.5} {
+		got := scatter.CoherentReflection(surf, kw, 0)
+		want := scatter.RayleighDamping(kw, 1.0, 0)
+		fmt.Printf("%8.2f %12.4f %12.4f\n", kw, got, want)
+	}
+}

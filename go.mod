@@ -1,0 +1,3 @@
+module roughsurface
+
+go 1.22

@@ -1,0 +1,134 @@
+package roughsurface
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"roughsurface/internal/core"
+	"roughsurface/internal/figures"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/propag"
+	"roughsurface/internal/stats"
+)
+
+// TestEndToEndPipeline exercises the full product path a downstream user
+// takes: declare a scene → generate → persist → reload → analyze →
+// propagate over it. Each stage checks the invariants the previous
+// stages promise.
+func TestEndToEndPipeline(t *testing.T) {
+	zero := 0.0
+	scene := core.Scene{
+		Nx: 256, Ny: 128, Dx: 2, Dy: 2,
+		Method: core.MethodPlate,
+		Seed:   2026,
+		Regions: []core.RegionSpec{
+			{Shape: "rect", X1: &zero, T: 20,
+				Spectrum: core.SpectrumSpec{Family: "gaussian", H: 0.3, CL: 12}},
+			{Shape: "rect", X0: &zero, T: 20,
+				Spectrum: core.SpectrumSpec{Family: "exponential", H: 2.0, CL: 10}},
+		},
+	}
+
+	// Scene survives its own JSON round trip.
+	blob, err := scene.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene2, err := core.ParseScene(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := core.Generate(scene2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := res.Surface
+
+	// Persist + reload.
+	path := filepath.Join(t.TempDir(), "scene.grid")
+	if err := surf.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := grid.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.EqualWithin(surf, 0) {
+		t.Fatal("reloaded surface differs")
+	}
+
+	// Regional statistics on the reloaded surface.
+	calm := loaded.Sub(10, 10, 80, 100)
+	rough := loaded.Sub(166, 10, 80, 100)
+	sc := stats.Describe(calm.Data).Std
+	sr := stats.Describe(rough.Data).Std
+	if math.Abs(sc-0.3) > 0.12 {
+		t.Errorf("calm region std %g want 0.3", sc)
+	}
+	if math.Abs(sr-2.0) > 0.5 {
+		t.Errorf("rough region std %g want 2.0", sr)
+	}
+
+	// Propagation across the boundary: the rough half hurts.
+	link := propag.Link{Lambda: 0.125, TxH: 1.5, RxH: 1.5}
+	results, err := propag.Sweep(loaded, -240, 0, 1, 0,
+		[]float64{100, 200, 300, 400}, link, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatal("sweep incomplete")
+	}
+	// Longest link crosses deep into the rough region; it must lose more
+	// than free space alone.
+	last := results[len(results)-1]
+	if last.DiffractionDB <= 0 {
+		t.Errorf("no diffraction loss across a 2σ boulder field: %+v", last)
+	}
+	if last.TotalDB != last.FreeSpaceDB+last.DiffractionDB {
+		t.Error("breakdown inconsistent")
+	}
+
+	// The generator handle supports extending the same surface: a window
+	// east of the original must agree with the original on the shared
+	// boundary column when regenerated.
+	if res.Inhomo == nil {
+		t.Fatal("plate result missing inhomo generator")
+	}
+	// Original window spans lattice [-128, 128); its column 228 is
+	// lattice index 100, which is the extension window's column 0.
+	ext := res.Inhomo.GenerateAt(100, -64, 64, 128)
+	for iy := 0; iy < 128; iy++ {
+		if math.Abs(ext.At(0, iy)-surf.At(228, iy)) > 1e-9 {
+			t.Fatalf("extension mismatch at row %d", iy)
+		}
+	}
+}
+
+// TestFigureArtifactsConsistency: a figure's stored grid and its probe
+// table derive from the same surface — regenerate and re-evaluate.
+func TestFigureArtifactsConsistency(t *testing.T) {
+	f, err := figures.Get(3, 128, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surfA, probesA, err := figures.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surfB, _, err := figures.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !surfA.EqualWithin(surfB, 0) {
+		t.Error("figure generation not reproducible")
+	}
+	probesB := figures.Evaluate(f, surfA)
+	for i := range probesA {
+		if probesA[i].GotH != probesB[i].GotH {
+			t.Error("probe evaluation not deterministic")
+		}
+	}
+}

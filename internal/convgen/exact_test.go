@@ -1,0 +1,87 @@
+package convgen
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/spectrum"
+)
+
+// TestExactVarianceKernelEnergy: the exact-variance kernel's energy is
+// h² to round-off even where the raw discretization loses several
+// percent of spectral mass (exponential family, short cl).
+func TestExactVarianceKernelEnergy(t *testing.T) {
+	s := spectrum.MustExponential(1.5, 4, 4) // cl=4: large Nyquist tail
+	raw, err := Design(s, 1, 1, 8, NoTruncation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := DesignExact(s, 1, 1, 8, NoTruncation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := 1.5 * 1.5
+	rawDeficit := (h2 - raw.Energy()) / h2
+	if rawDeficit < 0.03 {
+		t.Fatalf("test premise broken: raw deficit only %g", rawDeficit)
+	}
+	if rel := math.Abs(exact.Energy()-h2) / h2; rel > 1e-10 {
+		t.Errorf("exact kernel energy %g, want %g (rel %g)", exact.Energy(), h2, rel)
+	}
+}
+
+// TestNormalizeVarianceIdempotentOnGaussian: where the tail is already
+// negligible, normalization must be a no-op to high precision.
+func TestNormalizeVarianceIdempotentOnGaussian(t *testing.T) {
+	s := spectrum.MustGaussian(1.0, 10, 10)
+	w := spectrum.Weights(s, 128, 128, 128, 128)
+	before := append([]float64(nil), w.Data...)
+	spectrum.NormalizeVariance(w, 1.0)
+	for i := range before {
+		if math.Abs(w.Data[i]-before[i]) > 1e-9*(before[i]+1e-300) {
+			t.Fatalf("Gaussian weights changed materially at %d", i)
+		}
+	}
+}
+
+// TestExactVarianceShapePreserved: normalization must not distort the
+// autocorrelation shape beyond the uniform scale factor.
+func TestExactVarianceShapePreserved(t *testing.T) {
+	s := spectrum.MustExponential(1.0, 5, 5)
+	raw := MustDesign(s, 1, 1, 8, NoTruncation)
+	exact, err := DesignExact(s, 1, 1, 8, NoTruncation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := math.Sqrt(exact.Energy() / raw.Energy())
+	for i := range raw.Taps {
+		if math.Abs(exact.Taps[i]-raw.Taps[i]*scale) > 1e-12 {
+			t.Fatalf("tap %d not a uniform rescale", i)
+		}
+	}
+}
+
+// TestSceneExactVarianceOption: end-to-end through the Scene facade the
+// generated σ lands noticeably closer to h with the option on.
+func TestExactVarianceGeneratedSigma(t *testing.T) {
+	s := spectrum.MustExponential(2.0, 4, 4)
+	kRaw := MustDesign(s, 1, 1, 8, NoTruncation)
+	kExact, _ := DesignExact(s, 1, 1, 8, NoTruncation)
+	// Same seed: identical noise, so the σ ratio is exactly the kernel
+	// energy ratio — a deterministic comparison.
+	a := NewGenerator(kRaw, 4).GenerateCentered(128, 128)
+	b := NewGenerator(kExact, 4).GenerateCentered(128, 128)
+	var sa, sb float64
+	for i := range a.Data {
+		sa += a.Data[i] * a.Data[i]
+		sb += b.Data[i] * b.Data[i]
+	}
+	gotRatio := math.Sqrt(sb / sa)
+	wantRatio := math.Sqrt(kExact.Energy() / kRaw.Energy())
+	if math.Abs(gotRatio-wantRatio) > 1e-9 {
+		t.Errorf("σ ratio %g, want kernel-energy ratio %g", gotRatio, wantRatio)
+	}
+	if wantRatio <= 1.01 {
+		t.Errorf("exact variance should lift σ by the tail deficit, ratio %g", wantRatio)
+	}
+}

@@ -1,0 +1,93 @@
+package convgen
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/spectrum"
+	"roughsurface/internal/stats"
+)
+
+// TestRMSSlopeMatchesAnalytic: for the Gaussian family the slope
+// variance is analytic, −∂²ρ/∂x²(0) = 2h²/cl². The central-difference
+// estimator at spacing dx sees the discretized value
+// (ρ(0) − ρ(2dx))/(2dx²); both are checked.
+func TestRMSSlopeMatchesAnalytic(t *testing.T) {
+	h, cl := 1.2, 10.0
+	s := spectrum.MustGaussian(h, cl, cl)
+	k := MustDesign(s, 1, 1, 8, 1e-5)
+	surf := NewGenerator(k, 3).GenerateCentered(256, 256)
+
+	sx2, sy2 := stats.SlopeVariance(surf)
+	discrete := (s.Autocorrelation(0, 0) - s.Autocorrelation(2, 0)) / 2 // dx = 1
+	continuum := 2 * h * h / (cl * cl)
+	// Discretization keeps the two targets within a few percent of each
+	// other here; the estimate must match the discrete one.
+	if math.Abs(discrete-continuum)/continuum > 0.05 {
+		t.Fatalf("test setup: discrete %g vs continuum %g targets diverged", discrete, continuum)
+	}
+	for _, v := range []float64{sx2, sy2} {
+		if math.Abs(v-discrete)/discrete > 0.15 {
+			t.Errorf("slope variance %g, want ≈%g", v, discrete)
+		}
+	}
+}
+
+// TestSlopeAnisotropy: a surface stretched in x must be much flatter
+// along x than along y.
+func TestSlopeAnisotropy(t *testing.T) {
+	s := spectrum.MustGaussian(1, 24, 6)
+	k := MustDesign(s, 1, 1, 8, 1e-5)
+	surf := NewGenerator(k, 5).GenerateCentered(256, 256)
+	sx, sy := stats.RMSSlope(surf)
+	if !(sy > 2.5*sx) {
+		t.Errorf("slope anisotropy not reproduced: sx=%g sy=%g (want sy ≈ 4·sx)", sx, sy)
+	}
+}
+
+// TestRadialSpectrumMatchesTarget compares the radially averaged
+// periodogram of a generated surface against the radially averaged
+// analytic weight array — the realization-side counterpart of the
+// deterministic E5 check.
+func TestRadialSpectrumMatchesTarget(t *testing.T) {
+	const n = 256
+	s := spectrum.MustGaussian(1.0, 10, 10)
+	k := MustDesign(s, 1, 1, 8, 1e-5)
+	surf := NewGenerator(k, 8).GenerateCentered(n, n)
+
+	est := stats.WeightPeriodogram(surf)
+	est.Dx = 2 * math.Pi / float64(n)
+	est.Dy = est.Dx
+	want := spectrum.Weights(s, n, n, n, n)
+
+	const nbins = 24
+	fe, me := stats.RadialAverage(est, nbins)
+	_, mw := stats.RadialAverage(want, nbins)
+
+	peak := mw[0]
+	for i := 2; i < nbins; i++ { // skip the sparsely populated lowest annuli
+		if mw[i] < 1e-3*peak {
+			break // deep tail: relative comparison meaningless
+		}
+		if rel := math.Abs(me[i]-mw[i]) / mw[i]; rel > 0.35 {
+			t.Errorf("annulus %d (k=%.3f): periodogram %g vs target %g (rel %.2f)",
+				i, fe[i], me[i], mw[i], rel)
+		}
+	}
+}
+
+// TestStructureFunctionMatchesAnalytic: D(d) = 2(ρ(0) − ρ(d)) for the
+// generated field, over small lags.
+func TestStructureFunctionMatchesAnalytic(t *testing.T) {
+	s := spectrum.MustExponential(1.5, 8, 8)
+	k := MustDesign(s, 1, 1, 8, 1e-5)
+	surf := NewGenerator(k, 13).GenerateCentered(256, 256)
+	d := stats.StructureFunctionX(surf, 16)
+	h2 := 1.5 * 1.5
+	for lag := 1; lag <= 16; lag++ {
+		want := 2 * (s.Autocorrelation(0, 0) - s.Autocorrelation(float64(lag), 0))
+		if math.Abs(d[lag]-want)/h2 > 0.15 {
+			t.Errorf("lag %d: D = %g want %g", lag, d[lag], want)
+		}
+	}
+}

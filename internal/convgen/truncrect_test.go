@@ -1,0 +1,96 @@
+package convgen
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/spectrum"
+)
+
+func TestTruncateRectMeetsEnergyCriterion(t *testing.T) {
+	for _, s := range []spectrum.Spectrum{
+		spectrum.MustGaussian(1, 6, 6),
+		spectrum.MustGaussian(1, 4, 16),
+		spectrum.MustExponential(1.2, 10, 5),
+	} {
+		full := MustDesign(s, 1, 1, 8, NoTruncation)
+		for _, eps := range []float64{1e-2, 1e-4, 1e-6} {
+			tr := full.TruncateRect(eps)
+			if tr.Energy() < (1-eps)*full.Energy() {
+				t.Errorf("%s eps=%g: energy %g below criterion of %g",
+					s.Name(), eps, tr.Energy(), (1-eps)*full.Energy())
+			}
+			if tr.At(tr.CX, tr.CY) != full.At(full.CX, full.CY) {
+				t.Errorf("%s eps=%g: center tap moved", s.Name(), eps)
+			}
+		}
+	}
+}
+
+func TestTruncateRectRespectsAnisotropy(t *testing.T) {
+	// clx:cly = 4:16 → the truncated rectangle should be ~4x taller than
+	// wide.
+	s := spectrum.MustGaussian(1, 4, 16)
+	full := MustDesign(s, 1, 1, 8, NoTruncation)
+	tr := full.TruncateRect(1e-4)
+	aspect := float64(tr.Ny) / float64(tr.Nx)
+	if aspect < 2.5 || aspect > 6 {
+		t.Errorf("rect truncation aspect %g (%dx%d), want ≈4", aspect, tr.Nx, tr.Ny)
+	}
+	// And it should use far fewer taps than the square truncation.
+	sq := full.Truncate(1e-4)
+	if tr.Nx*tr.Ny >= sq.Nx*sq.Ny {
+		t.Errorf("rect truncation (%d taps) not smaller than square (%d taps)",
+			tr.Nx*tr.Ny, sq.Nx*sq.Ny)
+	}
+}
+
+func TestTruncateRectEqualsSquareForIsotropic(t *testing.T) {
+	// For an isotropic kernel both truncations land on nearly the same
+	// window (within one ring).
+	s := spectrum.MustGaussian(1, 6, 6)
+	full := MustDesign(s, 1, 1, 8, NoTruncation)
+	sq := full.Truncate(1e-4)
+	re := full.TruncateRect(1e-4)
+	if absInt(sq.Nx-re.Nx) > 2 || absInt(sq.Ny-re.Ny) > 2 {
+		t.Errorf("isotropic: square %dx%d vs rect %dx%d", sq.Nx, sq.Ny, re.Nx, re.Ny)
+	}
+}
+
+func TestTruncateRectGenerationStatistics(t *testing.T) {
+	// A rect-truncated anisotropic kernel still reproduces the
+	// prescribed covariance.
+	s := spectrum.MustGaussian(1.2, 4, 12)
+	full := MustDesign(s, 1, 1, 8, NoTruncation)
+	k := full.TruncateRect(1e-5)
+	surf := NewGenerator(k, 3).GenerateCentered(256, 256)
+	var ms float64
+	for _, v := range surf.Data {
+		ms += v * v
+	}
+	got := math.Sqrt(ms / float64(len(surf.Data)))
+	if math.Abs(got-1.2)/1.2 > 0.12 {
+		t.Errorf("σ %g want 1.2", got)
+	}
+}
+
+func TestTruncateRectPanicsOnBadEps(t *testing.T) {
+	k := MustDesign(spectrum.MustGaussian(1, 6, 6), 1, 1, 8, NoTruncation)
+	for _, eps := range []float64{0, 1, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%g accepted", eps)
+				}
+			}()
+			k.TruncateRect(eps)
+		}()
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/stats"
+)
+
+func gauss(h, cl float64) SpectrumSpec {
+	return SpectrumSpec{Family: "gaussian", H: h, CL: cl}
+}
+
+func TestSpectrumSpecBuild(t *testing.T) {
+	cases := []struct {
+		spec SpectrumSpec
+		ok   bool
+		name string
+	}{
+		{gauss(1, 10), true, "gaussian"},
+		{SpectrumSpec{Family: "powerlaw", H: 1, CL: 10, N: 2}, true, "powerlaw2"},
+		{SpectrumSpec{Family: "exponential", H: 1, CL: 10}, true, "exponential"},
+		{SpectrumSpec{Family: "powerlaw", H: 1, CL: 10, N: 1}, false, ""},
+		{SpectrumSpec{Family: "blancmange", H: 1, CL: 10}, false, ""},
+		{SpectrumSpec{H: 1, CL: 10}, false, ""},
+		{gauss(0, 10), false, ""},
+	}
+	for _, c := range cases {
+		s, err := c.spec.Build()
+		if c.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", c.spec, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%+v: expected error", c.spec)
+		}
+		if c.ok && s.Name() != c.name {
+			t.Errorf("%+v: name %q want %q", c.spec, s.Name(), c.name)
+		}
+	}
+}
+
+func TestSpectrumSpecAnisotropicShorthand(t *testing.T) {
+	s, err := SpectrumSpec{Family: "gaussian", H: 1, CL: 10, CLY: 20}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clx, cly := s.CorrelationLengths()
+	if clx != 10 || cly != 20 {
+		t.Errorf("lengths (%g,%g), want (10,20)", clx, cly)
+	}
+}
+
+func TestSpectrumSpecKeyDistinguishes(t *testing.T) {
+	a := gauss(1, 10)
+	b := gauss(1, 10)
+	if a.key() != b.key() {
+		t.Error("identical specs have different keys")
+	}
+	if a.key() == gauss(2, 10).key() {
+		t.Error("different h collides")
+	}
+	if a.key() == (SpectrumSpec{Family: "exponential", H: 1, CL: 10}).key() {
+		t.Error("different family collides")
+	}
+}
+
+func TestSceneValidate(t *testing.T) {
+	good := Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous, Spectrum: ptr(gauss(1, 8))}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid scene rejected: %v", err)
+	}
+	bad := []Scene{
+		{Nx: 1, Ny: 64, Method: MethodHomogeneous, Spectrum: ptr(gauss(1, 8))},
+		{Nx: 64, Ny: 64, Method: MethodHomogeneous},
+		{Nx: 64, Ny: 64, Method: "wavelet"},
+		{Nx: 64, Ny: 64},
+		{Nx: 64, Ny: 64, Method: MethodPlate},
+		{Nx: 64, Ny: 64, Method: MethodPoint, Points: []PointSpec{{Spectrum: gauss(1, 8)}}}, // no T
+		{Nx: 64, Ny: 64, Method: MethodPoint, TransitionT: 10},
+		{Nx: 64, Ny: 64, Method: MethodHomogeneous, Spectrum: ptr(gauss(1, 8)), Generator: "quantum"},
+		{Nx: 64, Ny: 64, Dx: -1, Method: MethodHomogeneous, Spectrum: ptr(gauss(1, 8))},
+	}
+	for i, sc := range bad {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad scene %d accepted", i)
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+func TestParseSceneRejectsUnknownFields(t *testing.T) {
+	_, err := ParseScene([]byte(`{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8},"typo_field":1}`))
+	if err == nil || !strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("unknown field not rejected: %v", err)
+	}
+}
+
+func TestSceneJSONRoundTrip(t *testing.T) {
+	sc := Scene{
+		Nx: 128, Ny: 128, Seed: 7, Method: MethodPoint, TransitionT: 50,
+		Points: []PointSpec{
+			{X: 0, Y: 0, Spectrum: gauss(1, 10)},
+			{X: 100, Y: 0, Spectrum: SpectrumSpec{Family: "exponential", H: 0.5, CL: 20}},
+		},
+	}
+	data, err := sc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScene(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Nx != sc.Nx || back.TransitionT != sc.TransitionT || len(back.Points) != 2 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestGenerateHomogeneousConvAndDFT(t *testing.T) {
+	for _, gen := range []string{GeneratorConv, GeneratorDFT} {
+		sc := Scene{Nx: 128, Ny: 128, Method: MethodHomogeneous,
+			Spectrum: ptr(gauss(1.5, 8)), Generator: gen, Seed: 3}
+		res, err := Generate(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		surf := res.Surface
+		if surf.Nx != 128 || surf.Ny != 128 {
+			t.Fatalf("%s: wrong size", gen)
+		}
+		std := stats.Describe(surf.Data).Std
+		if math.Abs(std-1.5)/1.5 > 0.25 {
+			t.Errorf("%s: std %g want ~1.5", gen, std)
+		}
+		x, y := surf.XY(64, 64)
+		if x != 0 || y != 0 {
+			t.Errorf("%s: not centered", gen)
+		}
+	}
+}
+
+func TestGenerateDeterministicAcrossCalls(t *testing.T) {
+	sc := Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous, Spectrum: ptr(gauss(1, 6)), Seed: 11}
+	a := MustGenerate(sc).Surface
+	b := MustGenerate(sc).Surface
+	if !a.EqualWithin(b, 0) {
+		t.Error("same scene generated different surfaces")
+	}
+}
+
+func TestGeneratePlateQuadrants(t *testing.T) {
+	zero := 0.0
+	sc := Scene{
+		Nx: 192, Ny: 192, Method: MethodPlate, Seed: 5,
+		Regions: []RegionSpec{
+			{Shape: "rect", X0: &zero, Y0: &zero, T: 8, Spectrum: gauss(0.5, 6)},
+			{Shape: "rect", X1: &zero, Y0: &zero, T: 8, Spectrum: gauss(2.0, 6)},
+			{Shape: "rect", X1: &zero, Y1: &zero, T: 8, Spectrum: gauss(0.5, 6)},
+			{Shape: "rect", X0: &zero, Y1: &zero, T: 8, Spectrum: gauss(2.0, 6)},
+		},
+	}
+	res, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inhomo == nil {
+		t.Fatal("plate result missing generator")
+	}
+	surf := res.Surface
+	// Q1 core (x>0, y>0) is the low-h region; Q2 core the high-h one.
+	q1 := surf.Sub(128, 128, 60, 60)
+	q2 := surf.Sub(4, 128, 60, 60)
+	s1 := stats.Describe(q1.Data).Std
+	s2 := stats.Describe(q2.Data).Std
+	if !(s2 > 2*s1) {
+		t.Errorf("quadrant contrast missing: q1 std %g, q2 std %g", s1, s2)
+	}
+}
+
+func TestGeneratePointDedupesComponents(t *testing.T) {
+	sc := Scene{
+		Nx: 96, Ny: 96, Method: MethodPoint, TransitionT: 20, Seed: 9,
+		Points: []PointSpec{
+			{X: -30, Y: 0, Spectrum: gauss(1, 6)},
+			{X: 30, Y: 0, Spectrum: gauss(1, 6)}, // same spectrum → same component
+			{X: 0, Y: 40, Spectrum: SpectrumSpec{Family: "exponential", H: 0.5, CL: 8}},
+		},
+	}
+	res, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.KernelSizes) != 2 {
+		t.Errorf("expected 2 deduped kernels, got %d", len(res.KernelSizes))
+	}
+	if res.Surface.Nx != 96 {
+		t.Error("wrong output size")
+	}
+}
+
+func TestGenerateRejectsInvalidScene(t *testing.T) {
+	if _, err := Generate(Scene{Nx: 64, Ny: 64, Method: "nope"}); err == nil {
+		t.Error("invalid scene generated")
+	}
+	if _, err := Generate(Scene{Nx: 64, Ny: 64, Method: MethodPlate,
+		Regions: []RegionSpec{{Shape: "circle", R: -5, Spectrum: gauss(1, 6)}}}); err == nil {
+		t.Error("negative-radius circle accepted")
+	}
+}
+
+func TestGenerateOutsideCircleScene(t *testing.T) {
+	sc := Scene{
+		Nx: 128, Ny: 128, Method: MethodPlate, Seed: 21,
+		Regions: []RegionSpec{
+			{Shape: "circle", R: 30, T: 10, Spectrum: SpectrumSpec{Family: "exponential", H: 0.2, CL: 5}},
+			{Shape: "outside-circle", R: 30, T: 10, Spectrum: gauss(1.0, 5)},
+		},
+	}
+	res, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := res.Surface
+	// Inside the pond the surface is much calmer than outside.
+	inside := surf.Sub(54, 54, 20, 20)
+	outside := surf.Sub(4, 4, 20, 20)
+	si := stats.Describe(inside.Data).Std
+	so := stats.Describe(outside.Data).Std
+	if !(so > 2*si) {
+		t.Errorf("pond contrast missing: inside %g outside %g", si, so)
+	}
+}

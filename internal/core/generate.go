@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/dftgen"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/inhomo"
+	"roughsurface/internal/rng"
+)
+
+// Result bundles a generated surface with the assembled machinery, so
+// callers can generate further windows (tiling, streaming) or inspect
+// blend weights without re-deriving kernels.
+type Result struct {
+	Surface *grid.Grid
+	// Inhomo is non-nil for plate/point scenes.
+	Inhomo *inhomo.Generator
+	// Conv is non-nil for homogeneous convolution scenes.
+	Conv *convgen.Generator
+	// KernelSizes reports the (possibly truncated) kernel extents per
+	// component, for cost reporting.
+	KernelSizes [][2]int
+}
+
+// Generate assembles and runs the scene, returning the surface centered
+// on the origin.
+func Generate(sc Scene) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	s := sc.normalized()
+	switch s.Method {
+	case MethodHomogeneous:
+		return generateHomogeneous(s)
+	case MethodPlate:
+		return generatePlate(s)
+	case MethodPoint:
+		return generatePoint(s)
+	}
+	panic("unreachable: Validate accepted unknown method")
+}
+
+// MustGenerate is Generate that panics on error, for validated presets.
+func MustGenerate(sc Scene) *Result {
+	r, err := Generate(sc)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (sc Scene) designKernel(spec SpectrumSpec) (*convgen.Kernel, error) {
+	s, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if sc.ExactVariance {
+		return convgen.DesignExact(s, sc.Dx, sc.Dy, sc.KernelSpanCL, sc.KernelEps)
+	}
+	return convgen.Design(s, sc.Dx, sc.Dy, sc.KernelSpanCL, sc.KernelEps)
+}
+
+func generateHomogeneous(sc Scene) (*Result, error) {
+	spec, err := sc.Spectrum.Build()
+	if err != nil {
+		return nil, err
+	}
+	if sc.Generator == GeneratorDFT {
+		gen, err := dftgen.New(spec, sc.Nx, sc.Ny, sc.Dx, sc.Dy)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Surface: gen.Generate(rng.NewGaussian(sc.Seed))}, nil
+	}
+	kernel, err := sc.designKernel(*sc.Spectrum)
+	if err != nil {
+		return nil, err
+	}
+	conv := convgen.NewGenerator(kernel, sc.Seed)
+	return &Result{
+		Surface:     conv.GenerateCentered(sc.Nx, sc.Ny),
+		Conv:        conv,
+		KernelSizes: [][2]int{{kernel.Nx, kernel.Ny}},
+	}, nil
+}
+
+func generatePlate(sc Scene) (*Result, error) {
+	regions := make([]inhomo.Region, len(sc.Regions))
+	kernels := make([]*convgen.Kernel, len(sc.Regions))
+	sizes := make([][2]int, len(sc.Regions))
+	for i, rs := range sc.Regions {
+		r, err := rs.buildRegion()
+		if err != nil {
+			return nil, fmt.Errorf("region %d: %w", i, err)
+		}
+		regions[i] = r
+		k, err := sc.designKernel(rs.Spectrum)
+		if err != nil {
+			return nil, fmt.Errorf("region %d: %w", i, err)
+		}
+		kernels[i] = k
+		sizes[i] = [2]int{k.Nx, k.Ny}
+	}
+	blender, err := inhomo.NewPlateBlender(regions)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := inhomo.NewGenerator(kernels, blender, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Surface:     gen.GenerateCentered(sc.Nx, sc.Ny),
+		Inhomo:      gen,
+		KernelSizes: sizes,
+	}, nil
+}
+
+func generatePoint(sc Scene) (*Result, error) {
+	// Deduplicate identical spectra into shared components, so the ten
+	// points of Fig. 4 need only four kernels.
+	index := map[string]int{}
+	var kernels []*convgen.Kernel
+	var sizes [][2]int
+	points := make([]inhomo.Point, len(sc.Points))
+	for i, ps := range sc.Points {
+		key := ps.Spectrum.key()
+		comp, ok := index[key]
+		if !ok {
+			k, err := sc.designKernel(ps.Spectrum)
+			if err != nil {
+				return nil, fmt.Errorf("point %d: %w", i, err)
+			}
+			comp = len(kernels)
+			index[key] = comp
+			kernels = append(kernels, k)
+			sizes = append(sizes, [2]int{k.Nx, k.Ny})
+		}
+		points[i] = inhomo.Point{X: ps.X, Y: ps.Y, Component: comp}
+	}
+	blender, err := inhomo.NewPointBlender(points, sc.TransitionT, len(kernels))
+	if err != nil {
+		return nil, err
+	}
+	gen, err := inhomo.NewGenerator(kernels, blender, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Surface:     gen.GenerateCentered(sc.Nx, sc.Ny),
+		Inhomo:      gen,
+		KernelSizes: sizes,
+	}, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSeaSpectrumSpec(t *testing.T) {
+	s, err := SpectrumSpec{Family: "sea", U: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "sea" {
+		t.Errorf("name %q", s.Name())
+	}
+	// h is derived from the wind speed: U=5 → ~0.133 m.
+	if h := s.SigmaH(); math.Abs(h-0.133) > 0.01 {
+		t.Errorf("derived h = %g", h)
+	}
+	if _, err := (SpectrumSpec{Family: "sea"}).Build(); err == nil {
+		t.Error("sea without wind speed accepted")
+	}
+}
+
+func TestSeaSceneGeneratesWithCorrectVariance(t *testing.T) {
+	// The PM autocorrelation oscillates over several dominant
+	// wavelengths, so the kernel span must cover them: span 40·cl at
+	// dx = 0.5 m. Surface 128 m square.
+	sc := Scene{
+		Nx: 256, Ny: 256, Dx: 0.5, Dy: 0.5,
+		Method:       MethodHomogeneous,
+		Spectrum:     &SpectrumSpec{Family: "sea", U: 5},
+		Seed:         9,
+		KernelSpanCL: 40,
+		KernelEps:    1e-5,
+	}
+	res, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := sc.Spectrum.Build()
+	h := spec.SigmaH()
+	var ms float64
+	for _, v := range res.Surface.Data {
+		ms += v * v
+	}
+	got := math.Sqrt(ms / float64(len(res.Surface.Data)))
+	if math.Abs(got-h)/h > 0.25 {
+		t.Errorf("sea surface σ = %g, want %g", got, h)
+	}
+}
+
+func TestSeaKeyDistinguishesWindSpeeds(t *testing.T) {
+	a := SpectrumSpec{Family: "sea", U: 5}
+	b := SpectrumSpec{Family: "sea", U: 10}
+	if a.key() == b.key() {
+		t.Error("different wind speeds collide in dedup key")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/stats"
+)
+
+func TestSectorSceneGenerates(t *testing.T) {
+	sc := Scene{
+		Nx: 128, Ny: 128, Method: MethodPlate, Seed: 3,
+		Regions: []RegionSpec{
+			{Shape: "sector", R0: 0, R: 60, A0: -math.Pi / 3, A1: math.Pi / 3, T: 6,
+				Spectrum: gauss(2.0, 6)},
+			{Shape: "outside-circle", R: 60, T: 6, Spectrum: gauss(0.3, 6)},
+		},
+	}
+	res, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf := res.Surface
+	// Sector core (along +x inside radius 60) is rough; behind it calm.
+	sect := surf.Sub(84, 54, 20, 20)
+	calm := surf.Sub(4, 54, 20, 20)
+	if !(rms(sect.Data) > 2*rms(calm.Data)) {
+		t.Errorf("sector contrast missing: %.3f vs %.3f", rms(sect.Data), rms(calm.Data))
+	}
+}
+
+func rms(data []float64) float64 {
+	var s float64
+	for _, v := range data {
+		s += v * v
+	}
+	return math.Sqrt(s / float64(len(data)))
+}
+
+func TestPolygonSceneGenerates(t *testing.T) {
+	sc := Scene{
+		Nx: 96, Ny: 96, Method: MethodPlate, Seed: 5,
+		Regions: []RegionSpec{
+			{Shape: "polygon",
+				PX: []float64{-30, 30, 30, -30}, PY: []float64{-30, -30, 30, 30},
+				T: 4, Spectrum: gauss(1.5, 5)},
+			{Shape: "rect", T: 4, Spectrum: gauss(0.2, 5)}, // unbounded fallback plane
+		},
+	}
+	res, err := Generate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := stats.Describe(res.Surface.Data); !(s.Std > 0) {
+		t.Error("degenerate surface")
+	}
+}
+
+func TestSectorSceneValidation(t *testing.T) {
+	bad := []RegionSpec{
+		{Shape: "sector", R0: 10, R: 5, A0: 0, A1: 1, Spectrum: gauss(1, 5)},                // r < r0
+		{Shape: "sector", R0: 0, R: 10, A0: 1, A1: 0, Spectrum: gauss(1, 5)},                // a1 < a0
+		{Shape: "sector", R0: 0, R: 10, A0: 0, A1: 7, Spectrum: gauss(1, 5)},                // span > 2π
+		{Shape: "polygon", PX: []float64{0, 1}, PY: []float64{0, 1}, Spectrum: gauss(1, 5)}, // too few vertices
+	}
+	for i, r := range bad {
+		sc := Scene{Nx: 32, Ny: 32, Method: MethodPlate, Regions: []RegionSpec{r}}
+		if err := sc.Validate(); err == nil {
+			t.Errorf("bad region %d accepted", i)
+		}
+	}
+}
+
+func TestSectorPolygonJSONRoundTrip(t *testing.T) {
+	sc := Scene{
+		Nx: 64, Ny: 64, Method: MethodPlate,
+		Regions: []RegionSpec{
+			{Shape: "sector", R0: 5, R: 50, A0: 0.1, A1: 2.5, T: 3, Spectrum: gauss(1, 5)},
+			{Shape: "polygon", PX: []float64{0, 10, 5}, PY: []float64{0, 0, 8}, T: 2, Spectrum: gauss(2, 5)},
+		},
+	}
+	data, err := sc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseScene(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Regions[0].A1 != 2.5 || len(back.Regions[1].PX) != 3 {
+		t.Errorf("round trip lost shape fields: %+v", back.Regions)
+	}
+}

@@ -1,0 +1,101 @@
+// Package dftgen implements the direct DFT method of paper §2.4
+// (eqn 30): a homogeneous random rough surface is synthesized in one
+// shot as the (real) transform of the amplitude-weighted Hermitian
+// Gaussian array,
+//
+//	f[n] = Σ_m v[m]·u[m]·e^{+j2πm·n/N} = NxNy·IDFT(v·u)[n]
+//
+// with v = sqrt(w) from the spectrum's weighting array and u from
+// package randarr. The result has zero mean, variance Σw ≈ h², and
+// autocorrelation DFT(w) ≈ ρ — the identities tested in experiments
+// E5–E7.
+//
+// This is the baseline the convolution method (package convgen) is
+// compared against: exact-spectrum periodic surfaces of a fixed size,
+// with none of the convolution method's extendability.
+package dftgen
+
+import (
+	"fmt"
+	"math"
+
+	"roughsurface/internal/fft"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/randarr"
+	"roughsurface/internal/rng"
+	"roughsurface/internal/spectrum"
+)
+
+// Generator produces fixed-size homogeneous surfaces by the direct DFT
+// method. A Generator is safe for sequential reuse; each Generate call
+// draws a fresh random array from the supplied stream.
+type Generator struct {
+	spec   spectrum.Spectrum
+	nx, ny int
+	dx, dy float64
+	v      *grid.Grid // amplitude array sqrt(w)
+	plan   *fft.Plan2D
+}
+
+// New builds a generator for nx×ny surfaces with sample spacings dx×dy.
+func New(s spectrum.Spectrum, nx, ny int, dx, dy float64) (*Generator, error) {
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("dftgen: surface must be at least 2x2, got %dx%d", nx, ny)
+	}
+	if !(dx > 0) || !(dy > 0) {
+		return nil, fmt.Errorf("dftgen: sample spacings must be positive, got (%g, %g)", dx, dy)
+	}
+	w := spectrum.Weights(s, nx, ny, float64(nx)*dx, float64(ny)*dy)
+	plan, err := fft.NewPlan2D(nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{
+		spec: s, nx: nx, ny: ny, dx: dx, dy: dy,
+		v: spectrum.Amplitude(w), plan: plan,
+	}, nil
+}
+
+// Must is New that panics on error.
+func Must(s spectrum.Spectrum, nx, ny int, dx, dy float64) *Generator {
+	g, err := New(s, nx, ny, dx, dy)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Spectrum reports the model the generator was built for.
+func (g *Generator) Spectrum() spectrum.Spectrum { return g.spec }
+
+// Generate synthesizes one surface realization, drawing Gaussians from
+// gauss. The returned grid is centered on the origin (paper figure
+// convention). The generation is O(N log N) in the number of samples.
+func (g *Generator) Generate(gauss rng.Normal) *grid.Grid {
+	u := randarr.Hermitian(g.nx, g.ny, gauss)
+	for i := range u.Data {
+		u.Data[i] *= complex(g.v.Data[i], 0)
+	}
+	g.plan.InverseUnscaled(u.Data)
+
+	out := grid.NewCentered(g.nx, g.ny, g.dx, g.dy)
+	maxImag := 0.0
+	for i, v := range u.Data {
+		out.Data[i] = real(v)
+		if im := math.Abs(imag(v)); im > maxImag {
+			maxImag = im
+		}
+	}
+	// The algebra guarantees a real result; a large imaginary residue
+	// means a broken Hermitian pairing and must not pass silently.
+	if maxImag > 1e-6*(1+g.spec.SigmaH()) {
+		panic(fmt.Sprintf("dftgen: non-real surface, imaginary residue %g", maxImag))
+	}
+	return out
+}
+
+// GenerateSeeded is a convenience wrapper generating from a fresh
+// Gaussian stream with the given seed.
+func (g *Generator) GenerateSeeded(seed uint64) *grid.Grid {
+	return g.Generate(rng.NewGaussian(seed))
+}

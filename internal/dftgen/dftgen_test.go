@@ -1,0 +1,157 @@
+package dftgen
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/rng"
+	"roughsurface/internal/spectrum"
+	"roughsurface/internal/stats"
+)
+
+func TestNewValidates(t *testing.T) {
+	s := spectrum.MustGaussian(1, 8, 8)
+	if _, err := New(s, 1, 64, 1, 1); err == nil {
+		t.Error("1-row surface accepted")
+	}
+	if _, err := New(s, 64, 64, 0, 1); err == nil {
+		t.Error("dx=0 accepted")
+	}
+	if _, err := New(s, 64, 64, 1, 1); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := Must(spectrum.MustGaussian(1, 8, 8), 64, 64, 1, 1)
+	a := g.GenerateSeeded(42)
+	b := g.GenerateSeeded(42)
+	if !a.EqualWithin(b, 0) {
+		t.Error("same seed produced different surfaces")
+	}
+	c := g.GenerateSeeded(43)
+	if a.EqualWithin(c, 1e-9) {
+		t.Error("different seeds produced identical surfaces")
+	}
+}
+
+func TestOutputGeometry(t *testing.T) {
+	g := Must(spectrum.MustGaussian(1, 8, 8), 128, 64, 2, 4)
+	s := g.GenerateSeeded(1)
+	if s.Nx != 128 || s.Ny != 64 || s.Dx != 2 || s.Dy != 4 {
+		t.Errorf("geometry %dx%d spacing %gx%g", s.Nx, s.Ny, s.Dx, s.Dy)
+	}
+	x, y := s.XY(64, 32)
+	if x != 0 || y != 0 {
+		t.Errorf("center sample at (%g,%g), want origin", x, y)
+	}
+}
+
+func statCase(t *testing.T, s spectrum.Spectrum, seed uint64, stdTol, acfTol float64) {
+	t.Helper()
+	const n = 256
+	g := Must(s, n, n, 1, 1)
+	surf := g.GenerateSeeded(seed)
+
+	h := s.SigmaH()
+	sum := stats.Describe(surf.Data)
+	if math.Abs(sum.Mean) > 0.15*h {
+		t.Errorf("%s: mean %g not near 0 (h=%g)", s.Name(), sum.Mean, h)
+	}
+	if math.Abs(sum.Std-h)/h > stdTol {
+		t.Errorf("%s: std %g, want %g (rel tol %g)", s.Name(), sum.Std, h, stdTol)
+	}
+
+	// Measured autocovariance vs analytic ρ over lags within 2 correlation
+	// lengths, relative to h².
+	cov := stats.AutocovarianceFFT(surf)
+	clx, _ := s.CorrelationLengths()
+	maxLag := int(2 * clx)
+	profile := stats.LagProfileX(cov, maxLag)
+	var rmse float64
+	for d := 0; d <= maxLag; d++ {
+		diff := profile[d] - s.Autocorrelation(float64(d), 0)
+		rmse += diff * diff
+	}
+	rmse = math.Sqrt(rmse/float64(maxLag+1)) / (h * h)
+	if rmse > acfTol {
+		t.Errorf("%s: autocovariance relative RMSE %g > %g", s.Name(), rmse, acfTol)
+	}
+
+	// Heights are Gaussian. KS requires (approximately) independent
+	// samples, so subsample on a stride of several correlation lengths
+	// before testing; running KS on the raw correlated field would
+	// wildly overstate the evidence.
+	stride := int(4 * clx)
+	var sub []float64
+	for iy := 0; iy < surf.Ny; iy += stride {
+		for ix := 0; ix < surf.Nx; ix += stride {
+			sub = append(sub, surf.At(ix, iy))
+		}
+	}
+	if _, p := stats.KSNormal(sub, sum.Mean, sum.Std); p < 0.001 {
+		t.Errorf("%s: KS rejects Gaussian heights, p=%g", s.Name(), p)
+	}
+}
+
+// TestStatisticsMatchTargets validates the direct method against the
+// prescribed statistics for all three spectral families (experiment E7's
+// baseline half). Tolerances reflect the sampling error of one 256²
+// realization with ~(256/cl)² effective degrees of freedom.
+func TestStatisticsMatchTargets(t *testing.T) {
+	statCase(t, spectrum.MustGaussian(1.0, 8, 8), 101, 0.12, 0.08)
+	statCase(t, spectrum.MustPowerLaw(1.5, 8, 8, 2), 103, 0.15, 0.10)
+	statCase(t, spectrum.MustExponential(2.0, 8, 8), 105, 0.15, 0.15)
+}
+
+func TestAnisotropicCorrelation(t *testing.T) {
+	// clx = 16, cly = 4: the x-profile must decay ~4x slower than y's.
+	s := spectrum.MustGaussian(1, 16, 4)
+	surf := Must(s, 256, 256, 1, 1).GenerateSeeded(7)
+	cov := stats.AutocovarianceFFT(surf)
+	clxEst := stats.CorrelationLength(stats.LagProfileX(cov, 64), 1)
+	clyEst := stats.CorrelationLength(stats.LagProfileY(cov, 64), 1)
+	if clxEst < 2*clyEst {
+		t.Errorf("anisotropy not reproduced: clx_est=%g cly_est=%g", clxEst, clyEst)
+	}
+	if math.Abs(clxEst-16)/16 > 0.35 {
+		t.Errorf("clx estimate %g far from 16", clxEst)
+	}
+	if math.Abs(clyEst-4)/4 > 0.35 {
+		t.Errorf("cly estimate %g far from 4", clyEst)
+	}
+}
+
+func TestEnsembleVarianceConverges(t *testing.T) {
+	// Averaging the sample variance over independent realizations should
+	// tighten toward h² (law of large numbers across the ensemble).
+	s := spectrum.MustGaussian(1.2, 8, 8)
+	g := Must(s, 128, 128, 1, 1)
+	gauss := rng.NewGaussian(55)
+	const trials = 12
+	var acc float64
+	for i := 0; i < trials; i++ {
+		surf := g.Generate(gauss)
+		acc += stats.Describe(surf.Data).Variance
+	}
+	acc /= trials
+	h2 := 1.2 * 1.2
+	if math.Abs(acc-h2)/h2 > 0.06 {
+		t.Errorf("ensemble variance %g, want %g", acc, h2)
+	}
+}
+
+func TestNonSquareAndOddSizes(t *testing.T) {
+	s := spectrum.MustGaussian(1, 6, 6)
+	for _, size := range [][2]int{{64, 32}, {48, 80}, {63, 65}} {
+		g := Must(s, size[0], size[1], 1, 1)
+		surf := g.GenerateSeeded(9)
+		if surf.Nx != size[0] || surf.Ny != size[1] {
+			t.Fatalf("size %v: wrong output dims", size)
+		}
+		std := stats.Describe(surf.Data).Std
+		if math.Abs(std-1) > 0.35 {
+			t.Errorf("size %v: std %g implausible", size, std)
+		}
+	}
+}

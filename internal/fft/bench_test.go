@@ -1,0 +1,44 @@
+package fft
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkForward1D(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096, 1000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p := MustPlan(n)
+			src := randSeq(n, 1)
+			dst := make([]complex128, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Forward(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkForward2D(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		for _, n := range []int{256, 512, 1024} {
+			name := fmt.Sprintf("n=%dx%d/workers=auto", n, n)
+			if workers == 1 {
+				name = fmt.Sprintf("n=%dx%d/workers=1", n, n)
+			}
+			b.Run(name, func(b *testing.B) {
+				p := MustPlan2D(n, n)
+				p.Workers = workers
+				data := rand2D(n, n, 1)
+				work := make([]complex128, len(data))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					copy(work, data)
+					p.Forward(work)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package fft
+
+import (
+	"fmt"
+	"sync"
+)
+
+// bluestein implements the chirp-z reformulation of the DFT so that
+// arbitrary lengths reduce to one power-of-two convolution:
+//
+//	X[k] = c[k] · Σ_n (x[n]·c[n]) · conj(c[k−n]),   c[n] = e^{-jπn²/N}
+//
+// The convolution with conj(c) is circular of length M = nextPow2(2N−1)
+// and its transform is precomputed once per plan.
+type bluestein struct {
+	n     int
+	m     int
+	inner *Plan        // power-of-two plan of length m
+	chirp []complex128 // c[n] = e^{-jπ n²/N}, n = 0..n-1 (forward sign)
+	hHat  []complex128 // forward-FFT of the padded conj-chirp kernel
+	pool  sync.Pool    // scratch of length m
+}
+
+func newBluestein(n int) (*bluestein, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fft: invalid bluestein length %d", n)
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	inner, err := NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	b := &bluestein{n: n, m: m, inner: inner}
+	b.pool.New = func() any { s := make([]complex128, m); return &s }
+
+	b.chirp = make([]complex128, n)
+	for i := 0; i < n; i++ {
+		// exp(-jπ i²/N) is periodic in i² with period 2N; reduce first so
+		// the angle stays small and accurate for large i.
+		q := (int64(i) * int64(i)) % int64(2*n)
+		b.chirp[i] = cis(-float64(q) / float64(n)) // angle = -π q / n, expressed in half-turns
+	}
+
+	h := make([]complex128, m)
+	for i := 0; i < n; i++ {
+		c := conj(b.chirp[i])
+		h[i] = c
+		if i != 0 {
+			h[m-i] = c
+		}
+	}
+	b.hHat = make([]complex128, m)
+	inner.Forward(b.hHat, h)
+	return b, nil
+}
+
+// transform computes dst = DFT(src) (or the conjugate-kernel transform
+// when inverse is true, without the 1/N factor — the caller applies it).
+func (b *bluestein) transform(dst, src []complex128, inverse bool) {
+	sp := b.pool.Get().(*[]complex128)
+	s := *sp
+	defer b.pool.Put(sp)
+
+	for i := 0; i < b.n; i++ {
+		x := src[i]
+		if inverse {
+			x = conj(x)
+		}
+		s[i] = x * b.chirp[i]
+	}
+	for i := b.n; i < b.m; i++ {
+		s[i] = 0
+	}
+	b.inner.Forward(s, s)
+	for i := range s {
+		s[i] *= b.hHat[i]
+	}
+	b.inner.Inverse(s, s)
+	for k := 0; k < b.n; k++ {
+		y := s[k] * b.chirp[k]
+		if inverse {
+			y = conj(y)
+		}
+		dst[k] = y
+	}
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+// cis returns e^{jπt} for t expressed in half-turns.
+func cis(t float64) complex128 {
+	s, c := sincosPi(t)
+	return complex(c, s)
+}

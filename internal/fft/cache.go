@@ -1,0 +1,46 @@
+package fft
+
+import "sync"
+
+// Plan construction builds bit-reversal and twiddle tables (and, for
+// Bluestein lengths, an inner power-of-two plan plus a transformed
+// chirp); callers that transform many same-sized batches — the
+// convolution engines, the autocovariance estimator, the figure
+// pipeline — should share plans. CachedPlan/CachedPlan2D provide that
+// sharing process-wide. Plans are safe for concurrent use, so a single
+// cached instance can serve all goroutines.
+var (
+	planCache   sync.Map // int -> *Plan
+	plan2DCache sync.Map // [2]int -> *Plan2D
+)
+
+// CachedPlan returns the shared plan for length n, building it on first
+// use.
+func CachedPlan(n int) (*Plan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan), nil
+}
+
+// CachedPlan2D returns the shared 2D plan for nx×ny, building it on
+// first use. The returned plan's Workers field is shared state: callers
+// needing a non-default worker bound should construct their own plan
+// with NewPlan2D instead of mutating the cached one.
+func CachedPlan2D(nx, ny int) (*Plan2D, error) {
+	key := [2]int{nx, ny}
+	if v, ok := plan2DCache.Load(key); ok {
+		return v.(*Plan2D), nil
+	}
+	p, err := NewPlan2D(nx, ny)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := plan2DCache.LoadOrStore(key, p)
+	return actual.(*Plan2D), nil
+}

@@ -1,0 +1,80 @@
+package fft
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCachedPlanSharesInstance(t *testing.T) {
+	a, err := CachedPlan(48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CachedPlan(48)
+	if a != b {
+		t.Error("cache returned distinct plans for the same length")
+	}
+	c, _ := CachedPlan(64)
+	if a == c {
+		t.Error("cache conflated different lengths")
+	}
+	if _, err := CachedPlan(0); err == nil {
+		t.Error("invalid length accepted")
+	}
+}
+
+func TestCachedPlan2DSharesInstance(t *testing.T) {
+	a, err := CachedPlan2D(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CachedPlan2D(32, 16)
+	if a != b {
+		t.Error("cache returned distinct 2D plans")
+	}
+	c, _ := CachedPlan2D(16, 32)
+	if a == c {
+		t.Error("cache conflated transposed sizes")
+	}
+	if _, err := CachedPlan2D(-1, 4); err == nil {
+		t.Error("invalid size accepted")
+	}
+}
+
+func TestCachedPlanConcurrentFirstUse(t *testing.T) {
+	// Hammer a fresh size from many goroutines; all must get a working
+	// plan and identical results.
+	const n = 96
+	src := randSeq(n, 5)
+	want := make([]complex128, n)
+	MustPlan(n).Forward(want, src)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := CachedPlan(n)
+			if err != nil {
+				errs <- err
+				return
+			}
+			dst := make([]complex128, n)
+			p.Forward(dst, src)
+			if maxErr(dst, want) > 1e-12 {
+				errs <- errMismatch
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent cached plan produced wrong transform" }

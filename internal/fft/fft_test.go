@@ -1,0 +1,216 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randSeq(n int, seed int64) []complex128 {
+	r := rand.New(rand.NewSource(seed))
+	s := make([]complex128, n)
+	for i := range s {
+		s[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return s
+}
+
+func maxErr(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Lengths exercising radix-2, Bluestein primes, composites, and N=1.
+var testLengths = []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 17, 31, 32, 60, 64, 97, 100, 128, 255, 256, 1000, 1024}
+
+func TestForwardMatchesNaive(t *testing.T) {
+	for _, n := range testLengths {
+		p := MustPlan(n)
+		src := randSeq(n, int64(n))
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		p.Forward(got, src)
+		Naive1D(want, src, false)
+		tol := 1e-9 * float64(n)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("n=%d: forward max err %g > %g", n, e, tol)
+		}
+	}
+}
+
+func TestInverseMatchesNaive(t *testing.T) {
+	for _, n := range testLengths {
+		p := MustPlan(n)
+		src := randSeq(n, int64(2*n+1))
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		p.Inverse(got, src)
+		Naive1D(want, src, true)
+		tol := 1e-9 * float64(n)
+		if e := maxErr(got, want); e > tol {
+			t.Errorf("n=%d: inverse max err %g > %g", n, e, tol)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range testLengths {
+		p := MustPlan(n)
+		src := randSeq(n, int64(3*n+7))
+		tmp := make([]complex128, n)
+		p.Forward(tmp, src)
+		p.Inverse(tmp, tmp)
+		tol := 1e-10 * float64(n+8)
+		if e := maxErr(tmp, src); e > tol {
+			t.Errorf("n=%d: roundtrip max err %g > %g", n, e, tol)
+		}
+	}
+}
+
+func TestInPlaceEqualsOutOfPlace(t *testing.T) {
+	for _, n := range []int{8, 12, 64, 100} {
+		p := MustPlan(n)
+		src := randSeq(n, 99)
+		out := make([]complex128, n)
+		p.Forward(out, src)
+		inPlace := append([]complex128(nil), src...)
+		p.Forward(inPlace, inPlace)
+		if e := maxErr(out, inPlace); e > 1e-12 {
+			t.Errorf("n=%d: in-place differs from out-of-place by %g", n, e)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	for _, n := range []int{16, 17, 64, 100, 256} {
+		p := MustPlan(n)
+		src := randSeq(n, int64(5*n))
+		dst := make([]complex128, n)
+		p.Forward(dst, src)
+		var et, ef float64
+		for i := range src {
+			et += real(src[i])*real(src[i]) + imag(src[i])*imag(src[i])
+			ef += real(dst[i])*real(dst[i]) + imag(dst[i])*imag(dst[i])
+		}
+		ef /= float64(n)
+		if math.Abs(et-ef) > 1e-8*et {
+			t.Errorf("n=%d: Parseval violated: time %g freq %g", n, et, ef)
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	n := 96 // Bluestein path
+	p := MustPlan(n)
+	a := randSeq(n, 1)
+	b := randSeq(n, 2)
+	alpha := complex(1.3, -0.4)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = alpha*a[i] + b[i]
+	}
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	fsum := make([]complex128, n)
+	p.Forward(fa, a)
+	p.Forward(fb, b)
+	p.Forward(fsum, sum)
+	for i := range fsum {
+		want := alpha*fa[i] + fb[i]
+		if cmplx.Abs(fsum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestImpulseGivesFlatSpectrum(t *testing.T) {
+	for _, n := range []int{8, 15, 64} {
+		p := MustPlan(n)
+		src := make([]complex128, n)
+		src[0] = 1
+		dst := make([]complex128, n)
+		p.Forward(dst, src)
+		for k := range dst {
+			if cmplx.Abs(dst[k]-1) > 1e-10 {
+				t.Errorf("n=%d bin %d: impulse spectrum %v != 1", n, k, dst[k])
+			}
+		}
+	}
+}
+
+func TestSingleToneLandsInOneBin(t *testing.T) {
+	n := 64
+	k0 := 5
+	p := MustPlan(n)
+	src := make([]complex128, n)
+	for i := range src {
+		s, c := math.Sincos(2 * math.Pi * float64(k0) * float64(i) / float64(n))
+		src[i] = complex(c, s)
+	}
+	dst := make([]complex128, n)
+	p.Forward(dst, src)
+	for k := range dst {
+		want := complex128(0)
+		if k == k0 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(dst[k]-want) > 1e-9 {
+			t.Errorf("bin %d: got %v want %v", k, dst[k], want)
+		}
+	}
+}
+
+func TestNewPlanRejectsBadLength(t *testing.T) {
+	if _, err := NewPlan(0); err == nil {
+		t.Error("NewPlan(0) should fail")
+	}
+	if _, err := NewPlan(-3); err == nil {
+		t.Error("NewPlan(-3) should fail")
+	}
+}
+
+func TestSincosPi(t *testing.T) {
+	cases := []float64{0, 0.25, 0.5, 1, -1, 2, 1e9 + 0.5, -3.75}
+	for _, tc := range cases {
+		s, c := sincosPi(tc)
+		// Reference via reduced argument.
+		r := math.Mod(tc, 2)
+		ws, wc := math.Sincos(math.Pi * r)
+		if math.Abs(s-ws) > 1e-9 || math.Abs(c-wc) > 1e-9 {
+			t.Errorf("sincosPi(%g) = (%g,%g), want (%g,%g)", tc, s, c, ws, wc)
+		}
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	p := MustPlan(100) // Bluestein has per-call scratch: exercise the pool
+	src := randSeq(100, 7)
+	want := make([]complex128, 100)
+	p.Forward(want, src)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			dst := make([]complex128, 100)
+			for it := 0; it < 50; it++ {
+				p.Forward(dst, src)
+				if e := maxErr(dst, want); e > 1e-12 {
+					done <- fmt.Errorf("concurrent transform diverged: %g", e)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package fft
+
+import "math"
+
+// Naive1D computes the DFT of src into dst by the O(N²) definition.
+// It exists as an independent oracle for tests and for documentation of
+// the sign/normalization conventions; production code uses Plan.
+// When inverse is true it uses the e^{+j...} kernel and applies 1/N.
+func Naive1D(dst, src []complex128, inverse bool) {
+	n := len(src)
+	if len(dst) != n {
+		panic("fft: Naive1D length mismatch")
+	}
+	sign := -2 * math.Pi / float64(n)
+	if inverse {
+		sign = -sign
+	}
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var acc complex128
+		for i := 0; i < n; i++ {
+			s, c := math.Sincos(sign * float64(k) * float64(i))
+			acc += src[i] * complex(c, s)
+		}
+		out[k] = acc
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for k := range out {
+			out[k] *= inv
+		}
+	}
+	copy(dst, out)
+}
+
+// Shift2D applies the standard fft-shift to row-major nx×ny data:
+// the zero-frequency bin moves to (nx/2, ny/2). This is exactly the
+// index permutation of paper eqns (34)–(35) that centers the
+// convolution kernel. The result is written to dst, which must not
+// alias src.
+func Shift2D(dst, src []complex128, nx, ny int) {
+	if len(dst) != nx*ny || len(src) != nx*ny {
+		panic("fft: Shift2D length mismatch")
+	}
+	hx, hy := nx/2, ny/2
+	for iy := 0; iy < ny; iy++ {
+		ty := (iy + hy) % ny
+		for ix := 0; ix < nx; ix++ {
+			tx := (ix + hx) % nx
+			dst[ty*nx+tx] = src[iy*nx+ix]
+		}
+	}
+}
+
+// ShiftReal2D is Shift2D for real-valued data.
+func ShiftReal2D(dst, src []float64, nx, ny int) {
+	if len(dst) != nx*ny || len(src) != nx*ny {
+		panic("fft: ShiftReal2D length mismatch")
+	}
+	hx, hy := nx/2, ny/2
+	for iy := 0; iy < ny; iy++ {
+		ty := (iy + hy) % ny
+		for ix := 0; ix < nx; ix++ {
+			tx := (ix + hx) % nx
+			dst[ty*nx+tx] = src[iy*nx+ix]
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package fft
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for random inputs of random (small) lengths, forward FFT
+// agrees with the naive DFT and the round trip is the identity.
+func TestQuickForwardAgreesWithNaive(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%200 + 1
+		p := MustPlan(n)
+		src := randSeq(n, seed)
+		got := make([]complex128, n)
+		want := make([]complex128, n)
+		p.Forward(got, src)
+		Naive1D(want, src, false)
+		return maxErr(got, want) <= 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripIdentity(t *testing.T) {
+	f := func(seed int64, rawN uint16) bool {
+		n := int(rawN)%500 + 1
+		p := MustPlan(n)
+		src := randSeq(n, seed)
+		tmp := make([]complex128, n)
+		p.Forward(tmp, src)
+		p.Inverse(tmp, tmp)
+		return maxErr(tmp, src) <= 1e-9*float64(n+8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the DFT of a circular shift is a per-bin phase rotation.
+func TestQuickShiftTheorem(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawS uint8) bool {
+		n := int(rawN)%100 + 2
+		s := int(rawS) % n
+		p := MustPlan(n)
+		x := randSeq(n, seed)
+		shifted := make([]complex128, n)
+		for i := range shifted {
+			shifted[i] = x[(i+s)%n]
+		}
+		fx := make([]complex128, n)
+		fs := make([]complex128, n)
+		p.Forward(fx, x)
+		p.Forward(fs, shifted)
+		for k := 0; k < n; k++ {
+			// shift by +s in time multiplies bin k by e^{+j2πks/n}
+			w := cis(2 * float64(k) * float64(s) / float64(n))
+			if cmplx.Abs(fs[k]-fx[k]*w) > 1e-8*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transforming a real even sequence yields a real spectrum.
+func TestQuickRealEvenHasRealSpectrum(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN)%64 + 4
+		r := rand.New(rand.NewSource(seed))
+		x := make([]complex128, n)
+		for i := 0; i <= n/2; i++ {
+			v := complex(r.NormFloat64(), 0)
+			x[i] = v
+			x[(n-i)%n] = v
+		}
+		p := MustPlan(n)
+		fx := make([]complex128, n)
+		p.Forward(fx, x)
+		for k := range fx {
+			if cmplx.Abs(complex(0, imag(fx[k]))) > 1e-9*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package fft
+
+import "fmt"
+
+// ForwardRealPair computes the forward 2D DFTs of two equally sized
+// real arrays with a single complex transform, using the classic
+// packing z = a + j·b and the unpacking
+//
+//	A[k] = (Z[k] + conj(Z[−k]))/2,   B[k] = (Z[k] − conj(Z[−k]))/(2j)
+//
+// where −k is the index-reflected bin. This saves one full transform
+// relative to transforming a and b separately — the dominant cost of
+// the FFT convolution engine, whose inputs (noise window and kernel
+// taps) are both real.
+func (p *Plan2D) ForwardRealPair(a, b []float64, fa, fb []complex128) {
+	n := p.nx * p.ny
+	if len(a) != n || len(b) != n || len(fa) != n || len(fb) != n {
+		panic(fmt.Sprintf("fft: ForwardRealPair length mismatch (plan %dx%d)", p.nx, p.ny))
+	}
+	z := fa // reuse fa as the packed workspace
+	for i := range a {
+		z[i] = complex(a[i], b[i])
+	}
+	p.Forward(z)
+	// Unpack. Visit each (k, −k) pair once; self-paired bins (where
+	// k == −k) have purely real A and B parts by symmetry.
+	for ky := 0; ky < p.ny; ky++ {
+		ry := (p.ny - ky) % p.ny
+		for kx := 0; kx < p.nx; kx++ {
+			rx := (p.nx - kx) % p.nx
+			i := ky*p.nx + kx
+			j := ry*p.nx + rx
+			if i > j {
+				continue
+			}
+			zi := z[i]
+			zj := z[j]
+			cj := complex(real(zj), -imag(zj))
+			ci := complex(real(zi), -imag(zi))
+			ai := (zi + cj) / 2
+			bi := complex(imag(zi)+imag(zj), real(zj)-real(zi)) // (zi − cj)/(2j) × 2 … see below
+			// (zi − cj)/(2j): with zi − cj = (re_i − re_j) + j(im_i + im_j),
+			// dividing by 2j gives ((im_i + im_j) − j(re_i − re_j))/2.
+			bi = complex(real(bi)/2, imag(bi)/2)
+			aj := (zj + ci) / 2
+			bj := complex(imag(zj)+imag(zi), real(zi)-real(zj))
+			bj = complex(real(bj)/2, imag(bj)/2)
+			fb[i] = bi
+			fb[j] = bj
+			// fa aliases z: write A values only after both reads.
+			fa[i] = ai
+			fa[j] = aj
+		}
+	}
+}

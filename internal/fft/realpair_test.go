@@ -1,0 +1,81 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardRealPairMatchesSeparate(t *testing.T) {
+	cases := []struct{ nx, ny int }{{4, 4}, {8, 6}, {5, 7}, {16, 16}, {32, 8}}
+	for _, c := range cases {
+		n := c.nx * c.ny
+		r := rand.New(rand.NewSource(int64(n)))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		p := MustPlan2D(c.nx, c.ny)
+
+		fa := make([]complex128, n)
+		fb := make([]complex128, n)
+		p.ForwardRealPair(a, b, fa, fb)
+
+		wantA := make([]complex128, n)
+		wantB := make([]complex128, n)
+		for i := range a {
+			wantA[i] = complex(a[i], 0)
+			wantB[i] = complex(b[i], 0)
+		}
+		p.Forward(wantA)
+		p.Forward(wantB)
+
+		if e := maxErr(fa, wantA); e > 1e-9*float64(n) {
+			t.Errorf("%dx%d: A spectrum err %g", c.nx, c.ny, e)
+		}
+		if e := maxErr(fb, wantB); e > 1e-9*float64(n) {
+			t.Errorf("%dx%d: B spectrum err %g", c.nx, c.ny, e)
+		}
+	}
+}
+
+func TestForwardRealPairPanicsOnMismatch(t *testing.T) {
+	p := MustPlan2D(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	p.ForwardRealPair(make([]float64, 16), make([]float64, 15),
+		make([]complex128, 16), make([]complex128, 16))
+}
+
+func TestQuickForwardRealPair(t *testing.T) {
+	f := func(seed int64, rawNx, rawNy uint8) bool {
+		nx := int(rawNx)%12 + 2
+		ny := int(rawNy)%12 + 2
+		n := nx * ny
+		r := rand.New(rand.NewSource(seed))
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		p := MustPlan2D(nx, ny)
+		fa := make([]complex128, n)
+		fb := make([]complex128, n)
+		p.ForwardRealPair(a, b, fa, fb)
+		wantA := make([]complex128, n)
+		for i := range a {
+			wantA[i] = complex(a[i], 0)
+		}
+		p.Forward(wantA)
+		return maxErr(fa, wantA) <= 1e-8*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

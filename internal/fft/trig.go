@@ -1,0 +1,28 @@
+package fft
+
+import "math"
+
+// sincosPi returns sin(πt), cos(πt) with the range reduction done on t
+// itself (exact for representable t), which is substantially more
+// accurate than math.Sincos(math.Pi*t) when t is large — exactly the
+// regime Bluestein's quadratic chirp indices live in.
+func sincosPi(t float64) (sin, cos float64) {
+	// Reduce t to (-1, 1] half-turns.
+	t = math.Mod(t, 2)
+	if t > 1 {
+		t -= 2
+	} else if t <= -1 {
+		t += 2
+	}
+	// Fold to |t| <= 1/2 where the polynomial kernels are most accurate.
+	sign := 1.0
+	if t > 0.5 {
+		t = 1 - t
+		sign = -1 // cos flips, sin unchanged
+	} else if t < -0.5 {
+		t = -1 - t
+		sign = -1
+	}
+	s, c := math.Sincos(math.Pi * t)
+	return s, sign * c
+}

@@ -1,0 +1,371 @@
+// Package figures defines the reproduction scenes for the paper's four
+// evaluation figures (§4) and the probe machinery that turns each
+// generated surface into measured-vs-target statistics — the quantities
+// EXPERIMENTS.md reports.
+//
+// Each figure has a fixed physical extent; the grid size n only sets the
+// resolution (dx = extent/n). The paper's statistical parameters are
+// therefore used verbatim at any n, and reduced-size test runs see the
+// same physics at coarser sampling. Parameter readings for OCR-damaged
+// values are documented in DESIGN.md §2/§5.
+package figures
+
+import (
+	"fmt"
+	"math"
+
+	"roughsurface/internal/core"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/stats"
+)
+
+// Size is the default figure grid edge.
+const Size = 1024
+
+// quadExtent is the physical edge length of the quadrant figures (1/2):
+// unit spacing at full size, as in the paper's ±500 axes.
+const quadExtent = 1024.0
+
+// circExtent is the physical edge for Fig. 3, widened so pure
+// outside-circle cores exist beyond the radius-500 pond and its
+// transition band.
+const circExtent = 1536.0
+
+// pointExtent is the physical edge for Fig. 4.
+const pointExtent = 1024.0
+
+// ringRadius is Fig. 4's representative-point ring radius. The paper's
+// value is OCR-lost; 350 keeps all sector bisector bands (T = 100)
+// separated inside the window. See DESIGN.md §5.
+const ringRadius = 350.0
+
+// Probe is a rectangular patch (physical, origin-centered coordinates)
+// deep inside one homogeneous region of a figure, with the statistics
+// that should hold there. Group labels sets of probes sharing target
+// statistics so estimates can be pooled (Fig. 4's three-points-per-
+// spectrum sectors). WantCL = 0 skips correlation-length checking where
+// the patch spans too few correlation lengths for a stable estimate.
+type Probe struct {
+	Name     string
+	Group    string
+	X0, Y0   float64
+	W, H     float64
+	WantH    float64
+	WantCL   float64
+	Spectrum string
+}
+
+// Figure couples a scene with its probes.
+type Figure struct {
+	ID      int
+	Caption string
+	Scene   core.Scene
+	Probes  []Probe
+}
+
+func gaussSpec(h, cl float64) core.SpectrumSpec {
+	return core.SpectrumSpec{Family: "gaussian", H: h, CL: cl}
+}
+
+func plSpec(h, cl, n float64) core.SpectrumSpec {
+	return core.SpectrumSpec{Family: "powerlaw", H: h, CL: cl, N: n}
+}
+
+func expSpec(h, cl float64) core.SpectrumSpec {
+	return core.SpectrumSpec{Family: "exponential", H: h, CL: cl}
+}
+
+// quadrants builds the four-quadrant plate scene shared by Figs. 1–2.
+// Transition half-width: the paper does not state one for the quadrant
+// figures; 50 (comparable to the correlation lengths) gives the visibly
+// smooth seams of the published plots.
+func quadrants(n int, specs [4]core.SpectrumSpec, seed uint64) core.Scene {
+	zero := 0.0
+	const t = 50.0
+	d := quadExtent / float64(n)
+	return core.Scene{
+		Nx: n, Ny: n, Dx: d, Dy: d, Method: core.MethodPlate, Seed: seed,
+		Regions: []core.RegionSpec{
+			{Shape: "rect", X0: &zero, Y0: &zero, T: t, Spectrum: specs[0]}, // Q1
+			{Shape: "rect", X1: &zero, Y0: &zero, T: t, Spectrum: specs[1]}, // Q2
+			{Shape: "rect", X1: &zero, Y1: &zero, T: t, Spectrum: specs[2]}, // Q3
+			{Shape: "rect", X0: &zero, Y1: &zero, T: t, Spectrum: specs[3]}, // Q4
+		},
+	}
+}
+
+// quadrantProbes places one probe in each quadrant core: inner edge 130
+// from the seams (past the T = 50 band plus a correlation length), outer
+// edge 30 in from the boundary.
+func quadrantProbes(specs [4]core.SpectrumSpec) []Probe {
+	const half = quadExtent / 2
+	const lo, margin = 130.0, 30.0
+	w := half - lo - margin
+	mk := func(name string, sx, sy float64, sp core.SpectrumSpec) Probe {
+		x0, y0 := lo, lo
+		if sx < 0 {
+			x0 = -lo - w
+		}
+		if sy < 0 {
+			y0 = -lo - w
+		}
+		return Probe{Name: name, Group: name, X0: x0, Y0: y0, W: w, H: w,
+			WantH: sp.H, WantCL: sp.CL, Spectrum: sp.Family}
+	}
+	return []Probe{
+		mk("Q1", 1, 1, specs[0]),
+		mk("Q2", -1, 1, specs[1]),
+		mk("Q3", -1, -1, specs[2]),
+		mk("Q4", 1, -1, specs[3]),
+	}
+}
+
+// Figure1 reproduces Fig. 1: same Gaussian spectrum, three distinct
+// parameter sets over four quadrants (Q2 = Q4).
+func Figure1(n int, seed uint64) Figure {
+	specs := [4]core.SpectrumSpec{
+		gaussSpec(1.0, 40),
+		gaussSpec(1.5, 60),
+		gaussSpec(2.0, 80),
+		gaussSpec(1.5, 60),
+	}
+	return Figure{
+		ID:      1,
+		Caption: "Inhomogeneous 2D RRS with same spectrum and three different parameters",
+		Scene:   quadrants(n, specs, seed),
+		Probes:  quadrantProbes(specs),
+	}
+}
+
+// Figure2 reproduces Fig. 2: four different spectra over four quadrants.
+func Figure2(n int, seed uint64) Figure {
+	specs := [4]core.SpectrumSpec{
+		gaussSpec(1.0, 40),
+		plSpec(1.5, 60, 2),
+		expSpec(2.0, 80),
+		plSpec(1.5, 60, 3),
+	}
+	return Figure{
+		ID:      2,
+		Caption: "Inhomogeneous 2D RRS with four different spectra and parameters",
+		Scene:   quadrants(n, specs, seed),
+		Probes:  quadrantProbes(specs),
+	}
+}
+
+// Figure3 reproduces Fig. 3: an exponential-spectrum "pond" of radius
+// 500 inside a Gaussian-spectrum plain, transition width T = 100 (i.e.
+// half-width 50 on each side of the rim).
+func Figure3(n int, seed uint64) Figure {
+	d := circExtent / float64(n)
+	inside := expSpec(0.2, 50)
+	outside := gaussSpec(1.0, 50)
+	sc := core.Scene{
+		Nx: n, Ny: n, Dx: d, Dy: d, Method: core.MethodPlate, Seed: seed,
+		Regions: []core.RegionSpec{
+			{Shape: "circle", R: 500, T: 50, Spectrum: inside},
+			{Shape: "outside-circle", R: 500, T: 50, Spectrum: outside},
+		},
+	}
+	// Pond core: a 300² patch at the center (6 correlation lengths).
+	// Plain core: a 340² patch in the corner; its nearest point to the
+	// origin is at distance (768−340)·√2 ≈ 605, outside the 500+50 band.
+	const half = circExtent / 2
+	return Figure{
+		ID:      3,
+		Caption: "Inhomogeneous 2D RRS with a circular region",
+		Scene:   sc,
+		Probes: []Probe{
+			{Name: "pond", Group: "pond", X0: -150, Y0: -150, W: 300, H: 300,
+				WantH: inside.H, WantCL: inside.CL, Spectrum: inside.Family},
+			{Name: "plain", Group: "plain", X0: -half + 10, Y0: -half + 10, W: 340, H: 340,
+				WantH: outside.H, WantCL: outside.CL, Spectrum: outside.Family},
+		},
+	}
+}
+
+// Figure4 reproduces Fig. 4: the point-oriented method with nine ring
+// points — Gaussian(1.0, 50) for i = 1..3, Gaussian(1.5, 75) for 4..6,
+// Gaussian(2.0, 100) for 7..9 — and Exponential(0.5, 100) at the origin;
+// T = 100.
+func Figure4(n int, seed uint64) Figure {
+	d := pointExtent / float64(n)
+	specs := []core.SpectrumSpec{
+		gaussSpec(1.0, 50),
+		gaussSpec(1.5, 75),
+		gaussSpec(2.0, 100),
+	}
+	center := expSpec(0.5, 100)
+	var pts []core.PointSpec
+	for i := 1; i <= 9; i++ {
+		ang := 2 * math.Pi * float64(i) / 9
+		pts = append(pts, core.PointSpec{
+			X:        ringRadius * math.Cos(ang),
+			Y:        ringRadius * math.Sin(ang),
+			Spectrum: specs[(i-1)/3],
+		})
+	}
+	pts = append(pts, core.PointSpec{X: 0, Y: 0, Spectrum: center})
+	sc := core.Scene{
+		Nx: n, Ny: n, Dx: d, Dy: d, Method: core.MethodPoint, Seed: seed,
+		TransitionT: 100,
+		Points:      pts,
+	}
+
+	// Probes: one 220² patch per ring point, centered at radius 395 on
+	// the point's angle — outside the center point's blending band and
+	// at least a sector away from other-group bisectors — pooled per
+	// spectrum group. Plus a small patch at the origin. CL checks are
+	// skipped: every patch spans ≲2 correlation lengths, exactly like
+	// the sectors in the paper's plot, so single-patch estimates carry
+	// large sampling error; consumers should pool (GroupMeans) and, for
+	// tight bounds, average over seeds.
+	probes := []Probe{{
+		Name: "center", Group: "center", X0: -60, Y0: -60, W: 120, H: 120,
+		WantH: center.H, Spectrum: center.Family,
+	}}
+	for i := 1; i <= 9; i++ {
+		ang := 2 * math.Pi * float64(i) / 9
+		g := (i-1)/3 + 1
+		cx := 395 * math.Cos(ang)
+		cy := 395 * math.Sin(ang)
+		probes = append(probes, Probe{
+			Name:  fmt.Sprintf("sector-%d", i),
+			Group: fmt.Sprintf("g%d", g),
+			X0:    cx - 110, Y0: cy - 110, W: 220, H: 220,
+			WantH: specs[g-1].H, Spectrum: specs[g-1].Family,
+		})
+	}
+	return Figure{
+		ID:      4,
+		Caption: "Inhomogeneous 2D RRS with a circular region and three sectors",
+		Scene:   sc,
+		Probes:  probes,
+	}
+}
+
+// Get returns figure id at the given grid size and seed.
+func Get(id, n int, seed uint64) (Figure, error) {
+	switch id {
+	case 1:
+		return Figure1(n, seed), nil
+	case 2:
+		return Figure2(n, seed), nil
+	case 3:
+		return Figure3(n, seed), nil
+	case 4:
+		return Figure4(n, seed), nil
+	}
+	return Figure{}, fmt.Errorf("figures: no figure %d (paper has 1-4)", id)
+}
+
+// All returns the four figures at full size.
+func All(seed uint64) []Figure {
+	return []Figure{
+		Figure1(Size, seed), Figure2(Size, seed), Figure3(Size, seed), Figure4(Size, seed),
+	}
+}
+
+// ProbeResult is one measured-vs-target row.
+type ProbeResult struct {
+	Probe
+	GotH  float64
+	GotCL float64
+}
+
+// Run generates the figure's surface and evaluates every probe.
+func Run(f Figure) (*grid.Grid, []ProbeResult, error) {
+	res, err := core.Generate(f.Scene)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Surface, Evaluate(f, res.Surface), nil
+}
+
+// Evaluate measures every probe patch on a generated surface. The
+// height deviation is estimated as the RMS about zero — the generators
+// produce zero-ensemble-mean fields, and subtracting the *patch* mean
+// instead would bias σ̂ down by sqrt(1−ρ̄) on patches only a few
+// correlation lengths wide (severe for Fig. 4's cl = 100 sectors).
+func Evaluate(f Figure, surf *grid.Grid) []ProbeResult {
+	out := make([]ProbeResult, 0, len(f.Probes))
+	for _, p := range f.Probes {
+		sub := extract(surf, p)
+		var ms float64
+		for _, v := range sub.Data {
+			ms += v * v
+		}
+		ms /= float64(len(sub.Data))
+		r := ProbeResult{Probe: p, GotH: math.Sqrt(ms)}
+		if p.WantCL > 0 {
+			cov := stats.AutocovarianceFFTZeroMean(sub)
+			profile := stats.LagProfileX(cov, sub.Nx/2)
+			// Undo the circular-estimator attenuation: at lag d only
+			// (Nx−d) of the Nx wrapped pairs carry the true lag, so the
+			// raw profile is scaled by (1 − d/Nx) in expectation.
+			for d := range profile {
+				profile[d] /= 1 - float64(d)/float64(sub.Nx)
+			}
+			r.GotCL = stats.CorrelationLength(profile, sub.Dx)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// GroupMeans pools probe results by group: the RMS of the measured
+// standard deviations (pooling variances, which is the unbiased way to
+// combine patches with a common target h).
+func GroupMeans(rs []ProbeResult) map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range rs {
+		sums[r.Group] += r.GotH * r.GotH
+		counts[r.Group]++
+	}
+	out := make(map[string]float64, len(sums))
+	for g, s := range sums {
+		out[g] = math.Sqrt(s / float64(counts[g]))
+	}
+	return out
+}
+
+// extract converts the probe's physical rectangle to lattice indices.
+func extract(surf *grid.Grid, p Probe) *grid.Grid {
+	ix := int((p.X0 - surf.X0) / surf.Dx)
+	iy := int((p.Y0 - surf.Y0) / surf.Dy)
+	nx := int(p.W / surf.Dx)
+	ny := int(p.H / surf.Dy)
+	ix = clampInt(ix, 0, surf.Nx-2)
+	iy = clampInt(iy, 0, surf.Ny-2)
+	nx = clampInt(nx, 2, surf.Nx-ix)
+	ny = clampInt(ny, 2, surf.Ny-iy)
+	return surf.Sub(ix, iy, nx, ny)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// FormatResults renders probe rows as an aligned text table.
+func FormatResults(rs []ProbeResult) string {
+	out := fmt.Sprintf("%-10s %-6s %-12s %8s %8s %8s %8s\n",
+		"probe", "group", "spectrum", "h(tgt)", "h(meas)", "cl(tgt)", "cl(meas)")
+	for _, r := range rs {
+		cl := "-"
+		clm := "-"
+		if r.WantCL > 0 {
+			cl = fmt.Sprintf("%.1f", r.WantCL)
+			clm = fmt.Sprintf("%.1f", r.GotCL)
+		}
+		out += fmt.Sprintf("%-10s %-6s %-12s %8.3f %8.3f %8s %8s\n",
+			r.Name, r.Group, r.Spectrum, r.WantH, r.GotH, cl, clm)
+	}
+	return out
+}

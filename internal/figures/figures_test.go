@@ -1,0 +1,201 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Reduced-resolution figure runs: the physical extents and all paper
+// parameters are unchanged (dx scales instead), so the statistics match
+// the full-size figures at coarser sampling while the tests stay fast.
+const testN = 256
+
+func TestGetValidates(t *testing.T) {
+	for id := 1; id <= 4; id++ {
+		f, err := Get(id, testN, 1)
+		if err != nil {
+			t.Fatalf("figure %d: %v", id, err)
+		}
+		if err := f.Scene.Validate(); err != nil {
+			t.Errorf("figure %d scene invalid: %v", id, err)
+		}
+		if len(f.Probes) == 0 {
+			t.Errorf("figure %d has no probes", id)
+		}
+	}
+	if _, err := Get(5, testN, 1); err == nil {
+		t.Error("figure 5 accepted")
+	}
+}
+
+func TestAllReturnsFullSizeScenes(t *testing.T) {
+	figs := All(1)
+	if len(figs) != 4 {
+		t.Fatalf("All returned %d figures", len(figs))
+	}
+	for _, f := range figs {
+		if f.Scene.Nx != Size || f.Scene.Ny != Size {
+			t.Errorf("figure %d not full size", f.ID)
+		}
+	}
+}
+
+func runFigure(t *testing.T, id int) []ProbeResult {
+	t.Helper()
+	f, err := Get(id, testN, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	surf, probes, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surf.Nx != testN || surf.Ny != testN {
+		t.Fatalf("figure %d: wrong surface size", id)
+	}
+	return probes
+}
+
+func checkProbes(t *testing.T, id int, rs []ProbeResult, hTol, clTol float64) {
+	t.Helper()
+	for _, r := range rs {
+		if relErr := math.Abs(r.GotH-r.WantH) / r.WantH; relErr > hTol {
+			t.Errorf("figure %d probe %s: h measured %.3f want %.3f (rel %.2f > %.2f)",
+				id, r.Name, r.GotH, r.WantH, relErr, hTol)
+		}
+		if r.WantCL > 0 && clTol > 0 {
+			if r.GotCL >= 0.45*r.W {
+				// The profile never crossed 1/e inside the patch: the
+				// estimator saturated at its window ceiling, which a
+				// patch of a few correlation lengths does regularly.
+				// Inconclusive rather than wrong — the autocorrelation
+				// itself is pinned deterministically by E5/E7 tests.
+				continue
+			}
+			if relErr := math.Abs(r.GotCL-r.WantCL) / r.WantCL; relErr > clTol {
+				t.Errorf("figure %d probe %s: cl measured %.1f want %.1f (rel %.2f > %.2f)",
+					id, r.Name, r.GotCL, r.WantCL, relErr, clTol)
+			}
+		}
+	}
+}
+
+// Probe patches span only a few correlation lengths (exactly as in the
+// paper's figures), so per-patch estimates carry real sampling error;
+// tolerances are ~3σ bands and the *ordering* checks are the sharp
+// assertions.
+func TestFigure1Statistics(t *testing.T) {
+	rs := runFigure(t, 1)
+	checkProbes(t, 1, rs, 0.40, 0.8)
+	m := GroupMeans(rs)
+	if !(m["Q3"] > m["Q1"]) {
+		t.Errorf("Q3 (h=2.0) not rougher than Q1 (h=1.0): %.3f vs %.3f", m["Q3"], m["Q1"])
+	}
+	if math.Abs(m["Q2"]-m["Q4"]) > 0.8 {
+		t.Errorf("Q2 and Q4 share parameters but measured %.3f vs %.3f", m["Q2"], m["Q4"])
+	}
+}
+
+func TestFigure2Statistics(t *testing.T) {
+	rs := runFigure(t, 2)
+	checkProbes(t, 2, rs, 0.40, 0.8)
+	m := GroupMeans(rs)
+	if !(m["Q3"] > m["Q1"]) {
+		t.Errorf("exponential quadrant (h=2.0) not rougher than Gaussian (h=1.0): %.3f vs %.3f",
+			m["Q3"], m["Q1"])
+	}
+	for _, r := range rs {
+		if r.Name == "Q2" && r.Spectrum != "powerlaw" {
+			t.Error("Q2 should be power-law")
+		}
+		if r.Name == "Q3" && r.Spectrum != "exponential" {
+			t.Error("Q3 should be exponential")
+		}
+	}
+}
+
+func TestFigure3Statistics(t *testing.T) {
+	rs := runFigure(t, 3)
+	m := GroupMeans(rs)
+	// The defining contrast: the pond (h=0.2) is far calmer than the
+	// plain (h=1.0).
+	if !(m["plain"] > 3*m["pond"]) {
+		t.Errorf("pond/plain contrast missing: pond %.3f plain %.3f", m["pond"], m["plain"])
+	}
+	checkProbes(t, 3, rs, 0.40, 1.0)
+}
+
+func TestFigure4Statistics(t *testing.T) {
+	// Fig. 4's patches span ≲2 correlation lengths each (the sectors are
+	// small in the paper too), so pool the probe estimates over three
+	// independent noise realizations before asserting.
+	var all []ProbeResult
+	for _, seed := range []uint64{7, 17, 27} {
+		f, err := Get(4, testN, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rs, err := Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rs...)
+	}
+	m := GroupMeans(all)
+	// Pooled over three sectors per spectrum: roughness rises g1→g3 and
+	// the exponential center is the calmest region.
+	if !(m["g3"] > m["g1"]) {
+		t.Errorf("sector roughness ordering broken: g3 %.3f vs g1 %.3f", m["g3"], m["g1"])
+	}
+	if !(m["center"] < m["g2"]) {
+		t.Errorf("center (h=0.5) not calmer than g2 sectors (h=1.5): %.3f vs %.3f",
+			m["center"], m["g2"])
+	}
+	// Pooled sector estimates should land near their targets.
+	for g, want := range map[string]float64{"g1": 1.0, "g2": 1.5, "g3": 2.0} {
+		if rel := math.Abs(m[g]-want) / want; rel > 0.5 {
+			t.Errorf("group %s pooled h %.3f want %.1f (rel %.2f)", g, m[g], want, rel)
+		}
+	}
+}
+
+func TestGroupMeansPools(t *testing.T) {
+	rs := []ProbeResult{
+		{Probe: Probe{Group: "a"}, GotH: 3},
+		{Probe: Probe{Group: "a"}, GotH: 4},
+		{Probe: Probe{Group: "b"}, GotH: 2},
+	}
+	m := GroupMeans(rs)
+	want := math.Sqrt((9.0 + 16.0) / 2)
+	if math.Abs(m["a"]-want) > 1e-12 {
+		t.Errorf("pooled a = %g want %g", m["a"], want)
+	}
+	if m["b"] != 2 {
+		t.Errorf("pooled b = %g", m["b"])
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	rs := []ProbeResult{{
+		Probe: Probe{Name: "Q1", Group: "Q1", Spectrum: "gaussian", WantH: 1, WantCL: 40},
+		GotH:  1.05, GotCL: 38.2,
+	}}
+	out := FormatResults(rs)
+	if !strings.Contains(out, "Q1") || !strings.Contains(out, "gaussian") || !strings.Contains(out, "1.050") {
+		t.Errorf("table missing fields:\n%s", out)
+	}
+}
+
+func TestProbesInsideGrid(t *testing.T) {
+	for id := 1; id <= 4; id++ {
+		f, _ := Get(id, testN, 1)
+		half := float64(f.Scene.Nx) * f.Scene.Dx / 2
+		for _, p := range f.Probes {
+			if p.X0 < -half || p.Y0 < -half || p.X0+p.W > half || p.Y0+p.H > half {
+				t.Errorf("figure %d probe %s out of grid: (%g,%g)+(%g,%g)",
+					id, p.Name, p.X0, p.Y0, p.W, p.H)
+			}
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package grid
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead exercises the binary surface parser with arbitrary input: it
+// must never panic or over-allocate, and anything it accepts must
+// round-trip back to identical bytes semantics (same geometry and
+// samples).
+func FuzzRead(f *testing.F) {
+	// Seed corpus: a valid small grid, its truncations, and mutations.
+	g := New(3, 2)
+	g.Dx, g.Dy, g.X0, g.Y0 = 0.5, 2, -1, 4
+	copy(g.Data, []float64{1, 2, 3, 4, 5, 6})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:10])
+	f.Add([]byte("RRSG"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), valid...)
+	mut[9] = 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input: invariants must hold.
+		if got.Nx < 1 || got.Ny < 1 || len(got.Data) != got.Nx*got.Ny {
+			t.Fatalf("accepted grid with broken invariants: %dx%d len %d", got.Nx, got.Ny, len(got.Data))
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialization failed: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.Nx != got.Nx || back.Ny != got.Ny {
+			t.Fatal("round trip changed geometry")
+		}
+	})
+}

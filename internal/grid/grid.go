@@ -1,0 +1,159 @@
+// Package grid provides the two-dimensional sampled-field containers the
+// generators produce and consume: Grid for real height fields f(x, y) and
+// CGrid for complex spectral-domain arrays. Data is row-major
+// (index iy*Nx+ix) with uniform sample spacing and an arbitrary origin so
+// that figure coordinates like the paper's [-500, 500]² map naturally.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Grid is a uniformly sampled real field. Data[iy*Nx+ix] is the sample at
+// physical position (X0 + ix·Dx, Y0 + iy·Dy).
+type Grid struct {
+	Nx, Ny int
+	Dx, Dy float64
+	X0, Y0 float64
+	Data   []float64
+}
+
+// New allocates a zeroed nx×ny grid with unit spacing and origin (0, 0).
+func New(nx, ny int) *Grid {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("grid: invalid size %dx%d", nx, ny))
+	}
+	return &Grid{Nx: nx, Ny: ny, Dx: 1, Dy: 1, Data: make([]float64, nx*ny)}
+}
+
+// NewCentered allocates an nx×ny grid with spacing (dx, dy) whose
+// coordinate origin sits at the grid center, matching the paper's figure
+// axes (e.g. the circle of Fig. 3 is centered at (0, 0)).
+func NewCentered(nx, ny int, dx, dy float64) *Grid {
+	g := New(nx, ny)
+	g.Dx, g.Dy = dx, dy
+	g.X0 = -dx * float64(nx/2)
+	g.Y0 = -dy * float64(ny/2)
+	return g
+}
+
+// Index returns the flat index of sample (ix, iy).
+func (g *Grid) Index(ix, iy int) int { return iy*g.Nx + ix }
+
+// At returns the sample at (ix, iy).
+func (g *Grid) At(ix, iy int) float64 { return g.Data[iy*g.Nx+ix] }
+
+// Set stores v at (ix, iy).
+func (g *Grid) Set(ix, iy int, v float64) { g.Data[iy*g.Nx+ix] = v }
+
+// XY returns the physical coordinates of sample (ix, iy).
+func (g *Grid) XY(ix, iy int) (x, y float64) {
+	return g.X0 + float64(ix)*g.Dx, g.Y0 + float64(iy)*g.Dy
+}
+
+// Len reports the number of samples.
+func (g *Grid) Len() int { return g.Nx * g.Ny }
+
+// Clone returns a deep copy.
+func (g *Grid) Clone() *Grid {
+	c := *g
+	c.Data = append([]float64(nil), g.Data...)
+	return &c
+}
+
+// Fill sets every sample to v.
+func (g *Grid) Fill(v float64) {
+	for i := range g.Data {
+		g.Data[i] = v
+	}
+}
+
+// Scale multiplies every sample by s.
+func (g *Grid) Scale(s float64) {
+	for i := range g.Data {
+		g.Data[i] *= s
+	}
+}
+
+// AddScaled adds s·o to g sample-wise. The grids must share dimensions.
+func (g *Grid) AddScaled(s float64, o *Grid) {
+	if g.Nx != o.Nx || g.Ny != o.Ny {
+		panic("grid: AddScaled dimension mismatch")
+	}
+	for i := range g.Data {
+		g.Data[i] += s * o.Data[i]
+	}
+}
+
+// MinMax returns the smallest and largest sample values.
+func (g *Grid) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range g.Data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (g *Grid) Mean() float64 {
+	var s float64
+	for _, v := range g.Data {
+		s += v
+	}
+	return s / float64(len(g.Data))
+}
+
+// Sub copies the rectangle [x0, x0+nx) × [y0, y0+ny) into a new grid
+// whose coordinate origin is adjusted so physical positions are
+// preserved.
+func (g *Grid) Sub(x0, y0, nx, ny int) *Grid {
+	if x0 < 0 || y0 < 0 || nx < 1 || ny < 1 || x0+nx > g.Nx || y0+ny > g.Ny {
+		panic(fmt.Sprintf("grid: Sub(%d,%d,%d,%d) out of range for %dx%d", x0, y0, nx, ny, g.Nx, g.Ny))
+	}
+	s := New(nx, ny)
+	s.Dx, s.Dy = g.Dx, g.Dy
+	s.X0 = g.X0 + float64(x0)*g.Dx
+	s.Y0 = g.Y0 + float64(y0)*g.Dy
+	for iy := 0; iy < ny; iy++ {
+		copy(s.Data[iy*nx:(iy+1)*nx], g.Data[(y0+iy)*g.Nx+x0:(y0+iy)*g.Nx+x0+nx])
+	}
+	return s
+}
+
+// Row returns the iy-th row as a shared-backing slice view.
+func (g *Grid) Row(iy int) []float64 { return g.Data[iy*g.Nx : (iy+1)*g.Nx] }
+
+// EqualWithin reports whether two grids share geometry and all samples
+// differ by at most tol.
+func (g *Grid) EqualWithin(o *Grid, tol float64) bool {
+	if g.Nx != o.Nx || g.Ny != o.Ny || g.Dx != o.Dx || g.Dy != o.Dy || g.X0 != o.X0 || g.Y0 != o.Y0 {
+		return false
+	}
+	for i := range g.Data {
+		if math.Abs(g.Data[i]-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute sample difference between two
+// same-sized grids.
+func (g *Grid) MaxAbsDiff(o *Grid) float64 {
+	if g.Nx != o.Nx || g.Ny != o.Ny {
+		panic("grid: MaxAbsDiff dimension mismatch")
+	}
+	m := 0.0
+	for i := range g.Data {
+		if d := math.Abs(g.Data[i] - o.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

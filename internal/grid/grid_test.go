@@ -1,0 +1,260 @@
+package grid
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func randomGrid(nx, ny int, seed int64) *Grid {
+	g := NewCentered(nx, ny, 2, 3)
+	r := rand.New(rand.NewSource(seed))
+	for i := range g.Data {
+		g.Data[i] = r.NormFloat64()
+	}
+	return g
+}
+
+func TestNewCenteredOrigin(t *testing.T) {
+	g := NewCentered(8, 6, 1, 1)
+	x, y := g.XY(4, 3) // the center sample
+	if x != 0 || y != 0 {
+		t.Errorf("center sample at (%g,%g), want (0,0)", x, y)
+	}
+	x, y = g.XY(0, 0)
+	if x != -4 || y != -3 {
+		t.Errorf("corner sample at (%g,%g), want (-4,-3)", x, y)
+	}
+}
+
+func TestAtSetIndex(t *testing.T) {
+	g := New(5, 4)
+	g.Set(3, 2, 7.5)
+	if g.At(3, 2) != 7.5 {
+		t.Error("Set/At mismatch")
+	}
+	if g.Data[g.Index(3, 2)] != 7.5 {
+		t.Error("Index inconsistent with At")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := randomGrid(4, 4, 1)
+	c := g.Clone()
+	c.Data[0] = 999
+	if g.Data[0] == 999 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestSubPreservesCoordinates(t *testing.T) {
+	g := randomGrid(16, 12, 2)
+	s := g.Sub(4, 3, 8, 6)
+	if s.Nx != 8 || s.Ny != 6 {
+		t.Fatalf("Sub size %dx%d", s.Nx, s.Ny)
+	}
+	for iy := 0; iy < s.Ny; iy++ {
+		for ix := 0; ix < s.Nx; ix++ {
+			if s.At(ix, iy) != g.At(ix+4, iy+3) {
+				t.Fatalf("sample mismatch at (%d,%d)", ix, iy)
+			}
+			sx, sy := s.XY(ix, iy)
+			gx, gy := g.XY(ix+4, iy+3)
+			if sx != gx || sy != gy {
+				t.Fatalf("coordinate mismatch at (%d,%d)", ix, iy)
+			}
+		}
+	}
+}
+
+func TestSubOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sub out of range should panic")
+		}
+	}()
+	randomGrid(4, 4, 3).Sub(2, 2, 4, 4)
+}
+
+func TestMinMaxMean(t *testing.T) {
+	g := New(2, 2)
+	copy(g.Data, []float64{1, -3, 5, 1})
+	min, max := g.MinMax()
+	if min != -3 || max != 5 {
+		t.Errorf("MinMax = (%g,%g)", min, max)
+	}
+	if g.Mean() != 1 {
+		t.Errorf("Mean = %g", g.Mean())
+	}
+}
+
+func TestAddScaledScale(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	copy(b.Data, []float64{10, 20, 30, 40})
+	a.AddScaled(0.5, b)
+	want := []float64{6, 12, 18, 24}
+	for i := range want {
+		if a.Data[i] != want[i] {
+			t.Fatalf("AddScaled[%d] = %g want %g", i, a.Data[i], want[i])
+		}
+	}
+	a.Scale(2)
+	if a.Data[0] != 12 {
+		t.Error("Scale failed")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := randomGrid(17, 9, 4)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualWithin(g, 0) {
+		t.Error("binary round trip changed the grid")
+	}
+}
+
+func TestBinaryRejectsCorruptHeader(t *testing.T) {
+	g := randomGrid(4, 4, 5)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[0] = 'X' // break magic
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	// Implausible dimension.
+	buf.Reset()
+	g.WriteTo(&buf)
+	raw = buf.Bytes()
+	for i := 8; i < 16; i++ {
+		raw[i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("implausible dimensions accepted")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	g := randomGrid(8, 8, 6)
+	var buf bytes.Buffer
+	g.WriteTo(&buf)
+	raw := buf.Bytes()
+	if _, err := Read(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := randomGrid(6, 5, 7)
+	path := filepath.Join(t.TempDir(), "s.grid")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualWithin(g, 0) {
+		t.Error("file round trip changed the grid")
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	g := randomGrid(3, 2, 8)
+	var buf bytes.Buffer
+	if err := g.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("CSV has %d lines, want 3", len(lines))
+	}
+	if n := bytes.Count(lines[1], []byte(",")); n != 2 {
+		t.Errorf("row has %d commas, want 2", n)
+	}
+}
+
+func TestWriteXYZContainsCoordinates(t *testing.T) {
+	g := NewCentered(2, 2, 10, 10)
+	g.Fill(1.5)
+	var buf bytes.Buffer
+	if err := g.WriteXYZ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("-10 -10 1.5")) {
+		t.Errorf("XYZ output missing expected line:\n%s", buf.String())
+	}
+}
+
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, rawNx, rawNy uint8) bool {
+		nx := int(rawNx)%20 + 1
+		ny := int(rawNy)%20 + 1
+		g := randomGrid(nx, ny, seed)
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		return got.EqualWithin(g, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCGridRealAndFromReal(t *testing.T) {
+	g := randomGrid(5, 4, 9)
+	c := FromReal(g)
+	back := c.Real(g)
+	if !back.EqualWithin(g, 0) {
+		t.Error("FromReal/Real round trip changed samples")
+	}
+	if back.Dx != g.Dx || back.X0 != g.X0 {
+		t.Error("Real did not copy geometry from template")
+	}
+}
+
+func TestCGridMulElem(t *testing.T) {
+	a := NewC(2, 2)
+	b := NewC(2, 2)
+	a.Set(0, 0, complex(2, 1))
+	b.Set(0, 0, complex(3, -1))
+	a.MulElem(b)
+	if a.At(0, 0) != complex(7, 1) {
+		t.Errorf("MulElem = %v", a.At(0, 0))
+	}
+}
+
+func TestCGridMaxImagAbs(t *testing.T) {
+	c := NewC(2, 2)
+	c.Set(1, 1, complex(0, -0.25))
+	if got := c.MaxImagAbs(); got != 0.25 {
+		t.Errorf("MaxImagAbs = %g", got)
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := randomGrid(4, 4, 10)
+	b := a.Clone()
+	b.Data[7] += 0.5
+	if d := a.MaxAbsDiff(b); math.Abs(d-0.5) > 1e-15 {
+		t.Errorf("MaxAbsDiff = %g", d)
+	}
+}

@@ -1,0 +1,268 @@
+// Package inhomo implements the paper's contribution (§3): generation of
+// two-dimensional random rough surfaces whose statistical parameters
+// vary from place to place. Both algorithms reduce to the same scheme —
+// at every output sample n, the effective convolution kernel is a convex
+// mix of the M homogeneous component kernels,
+//
+//	w̃_n = Σ_m g_n(m)·w̃(m),   Σ_m g_n(m) = 1      (paper eqn 46)
+//
+// — and differ only in how the mixing weights g_n(m) are assigned:
+//
+//   - the plate-oriented method (§3.1, eqns 37–39) derives them from
+//     region membership with linear ramps across transition bands;
+//   - the point-oriented method (§3.2, eqns 40–45) derives them from
+//     distances to representative points, blending across perpendicular
+//     bisectors.
+//
+// Because g_n does not depend on the kernel tap index, eqn (46) is
+// algebraically identical to blending M homogeneous surfaces generated
+// from the *same* noise field: f(n) = Σ_m g_n(m)·(w̃(m) ⊛ X)(n). The
+// fast generator path exploits this; the reference path evaluates
+// eqn (46) literally, and tests pin the two to each other.
+package inhomo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Blender assigns component mixing weights to lattice points.
+type Blender interface {
+	// NumComponents reports M, the number of homogeneous components.
+	NumComponents() int
+	// BlendWeights fills w (length M) with the mixing weights of
+	// physical point (x, y). Weights are nonnegative and sum to 1.
+	BlendWeights(w []float64, x, y float64)
+}
+
+// Region is a plate-oriented membership function: Support is 1 in the
+// region core, falls linearly to 0 across a transition band, and is 0
+// outside. At the nominal boundary the support is exactly 1/2, so two
+// abutting regions with equal band widths cross-fade symmetrically —
+// the linear interpolation of paper eqns (38)–(39).
+type Region interface {
+	Support(x, y float64) float64
+}
+
+// ramp converts a signed distance to the region boundary (positive
+// inside) into a support value with transition half-width t.
+func ramp(d, t float64) float64 {
+	if t <= 0 { // hard boundary
+		if d >= 0 {
+			return 1
+		}
+		return 0
+	}
+	s := 0.5 + d/(2*t)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Rect is an axis-aligned rectangular region [X0,X1]×[Y0,Y1] with
+// transition half-width T. Infinite extents are allowed (±Inf) so
+// half-planes and quadrants are expressible.
+type Rect struct {
+	X0, Y0, X1, Y1 float64
+	T              float64
+}
+
+// Support implements Region using the signed distance to the rectangle
+// boundary.
+func (r Rect) Support(x, y float64) float64 {
+	dx := math.Min(x-r.X0, r.X1-x)
+	dy := math.Min(y-r.Y0, r.Y1-y)
+	return ramp(math.Min(dx, dy), r.T)
+}
+
+// Circle is a disc of radius R centered at (CX, CY) with transition
+// half-width T — the Fig. 3 geometry.
+type Circle struct {
+	CX, CY, R float64
+	T         float64
+}
+
+// Support implements Region.
+func (c Circle) Support(x, y float64) float64 {
+	d := c.R - math.Hypot(x-c.CX, y-c.CY)
+	return ramp(d, c.T)
+}
+
+// Complement is the outside of another region: its support is
+// 1 − Inner.Support, giving an exact partition of unity with the inner
+// region (how Fig. 3 pairs "inside the pond" with "everything else").
+type Complement struct {
+	Inner Region
+}
+
+// Support implements Region.
+func (c Complement) Support(x, y float64) float64 { return 1 - c.Inner.Support(x, y) }
+
+// PlateBlender implements the plate-oriented method: component m's
+// weight at a point is region m's support, normalized over all regions.
+// Where exactly two regions overlap in a band this is the paper's linear
+// interpolation (eqns 37–39); where more overlap (e.g. the meeting point
+// of four quadrants) it degrades gracefully to the normalized mix.
+type PlateBlender struct {
+	Regions []Region
+}
+
+// NewPlateBlender validates and wraps the region list; component i of
+// the generator corresponds to region i.
+func NewPlateBlender(regions []Region) (*PlateBlender, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("inhomo: plate blender needs at least one region")
+	}
+	return &PlateBlender{Regions: regions}, nil
+}
+
+// NumComponents implements Blender.
+func (b *PlateBlender) NumComponents() int { return len(b.Regions) }
+
+// BlendWeights implements Blender. If no region claims the point (a
+// coverage gap), the weights fall back to uniform so the output remains
+// a valid surface; callers should arrange regions to cover the window.
+func (b *PlateBlender) BlendWeights(w []float64, x, y float64) {
+	var sum float64
+	for i, r := range b.Regions {
+		s := r.Support(x, y)
+		w[i] = s
+		sum += s
+	}
+	if sum <= 0 {
+		u := 1 / float64(len(w))
+		for i := range w {
+			w[i] = u
+		}
+		return
+	}
+	inv := 1 / sum
+	for i := range w {
+		w[i] *= inv
+	}
+}
+
+// Point is one representative point of the point-oriented method,
+// carrying the index of the homogeneous component whose statistics hold
+// around it. Several points may share a component (Fig. 4 assigns three
+// ring points to each spectrum).
+type Point struct {
+	X, Y      float64
+	Component int
+}
+
+// PointBlender implements the point-oriented method of §3.2. T is the
+// transition half-width of eqn (41): a non-nearest point m participates
+// at an observation point n only if the perpendicular distance τ from n
+// to the bisector of the segment (nearest point, m) — eqn (42) — is at
+// most T.
+//
+// The blend weights reconstruct eqns (43)–(45) as
+//
+//	g(m)  = (1 − τ(m)/T)/(M̃+1)   for the M̃ qualifying points
+//	g(m*) = 1 − Σ' g(m)
+//
+// which sums to one, is continuous across the bisector of the two
+// nearest points, keeps every weight in [0, 1], and reduces to the
+// plate-oriented linear ramp for two points. (The OCR of eqns 44–45 is
+// ambiguous about the denominator; see DESIGN.md §5.)
+type PointBlender struct {
+	Points []Point
+	T      float64
+
+	numComponents int
+}
+
+// NewPointBlender validates the configuration. T must be positive; every
+// point's Component must be a valid index below numComponents.
+func NewPointBlender(points []Point, t float64, numComponents int) (*PointBlender, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("inhomo: point blender needs at least one point")
+	}
+	if !(t > 0) {
+		return nil, fmt.Errorf("inhomo: transition half-width T must be positive, got %g", t)
+	}
+	if numComponents < 1 {
+		return nil, fmt.Errorf("inhomo: need at least one component")
+	}
+	for i, p := range points {
+		if p.Component < 0 || p.Component >= numComponents {
+			return nil, fmt.Errorf("inhomo: point %d references component %d of %d", i, p.Component, numComponents)
+		}
+	}
+	return &PointBlender{Points: points, T: t, numComponents: numComponents}, nil
+}
+
+// NumComponents implements Blender.
+func (b *PointBlender) NumComponents() int { return b.numComponents }
+
+// BlendWeights implements Blender.
+func (b *PointBlender) BlendWeights(w []float64, x, y float64) {
+	for i := range w {
+		w[i] = 0
+	}
+	// Nearest representative point m* (eqn 40).
+	best := 0
+	bestD2 := math.Inf(1)
+	d2 := make([]float64, len(b.Points))
+	for i, p := range b.Points {
+		dx, dy := x-p.X, y-p.Y
+		d2[i] = dx*dx + dy*dy
+		if d2[i] < bestD2 {
+			bestD2 = d2[i]
+			best = i
+		}
+	}
+	// Perpendicular distance to each bisector (eqn 42): for points a=m*
+	// and c=m, τ = (|n−c|² − |n−a|²) / (2·|c−a|).
+	type cand struct {
+		idx int
+		tau float64
+	}
+	var cands []cand
+	for i := range b.Points {
+		if i == best {
+			continue
+		}
+		sep := math.Hypot(b.Points[i].X-b.Points[best].X, b.Points[i].Y-b.Points[best].Y)
+		if sep == 0 {
+			// Coincident representative points: always blended, τ = 0.
+			cands = append(cands, cand{i, 0})
+			continue
+		}
+		tau := (d2[i] - bestD2) / (2 * sep)
+		if tau <= b.T { // eqn (41)
+			cands = append(cands, cand{i, tau})
+		}
+	}
+	mTilde := float64(len(cands))
+	var others float64
+	for _, c := range cands {
+		g := (1 - c.tau/b.T) / (mTilde + 1)
+		w[b.Points[c.idx].Component] += g
+		others += g
+	}
+	w[b.Points[best].Component] += 1 - others
+}
+
+// UniformBlender assigns all weight to a single component everywhere —
+// the degenerate case that reduces inhomogeneous generation to
+// homogeneous generation, used by tests and as a building block.
+type UniformBlender struct {
+	M, Index int
+}
+
+// NumComponents implements Blender.
+func (b UniformBlender) NumComponents() int { return b.M }
+
+// BlendWeights implements Blender.
+func (b UniformBlender) BlendWeights(w []float64, x, y float64) {
+	for i := range w {
+		w[i] = 0
+	}
+	w[b.Index] = 1
+}

@@ -1,0 +1,187 @@
+package inhomo
+
+import (
+	"math"
+
+	"roughsurface/internal/grid"
+)
+
+// edt2 computes the exact squared Euclidean distance transform of a
+// binary mask (true = feature cell) by the Felzenszwalb–Huttenlocher
+// parabola-envelope algorithm: out[i] is the squared lattice distance
+// from cell i to the nearest feature cell (+Inf if the mask is empty).
+func edt2(mask []bool, nx, ny int) []float64 {
+	out := make([]float64, nx*ny)
+	for i, m := range mask {
+		if m {
+			out[i] = 0
+		} else {
+			out[i] = math.Inf(1)
+		}
+	}
+	// Column pass then row pass; 1D transforms compose exactly.
+	col := make([]float64, ny)
+	for x := 0; x < nx; x++ {
+		for y := 0; y < ny; y++ {
+			col[y] = out[y*nx+x]
+		}
+		dt1d(col)
+		for y := 0; y < ny; y++ {
+			out[y*nx+x] = col[y]
+		}
+	}
+	for y := 0; y < ny; y++ {
+		dt1d(out[y*nx : (y+1)*nx])
+	}
+	return out
+}
+
+// dt1d replaces f with its 1D squared distance transform
+// g[q] = min_p ((q−p)² + f[p]) in place.
+func dt1d(f []float64) {
+	n := len(f)
+	v := make([]int, n)       // locations of parabolas in the lower envelope
+	z := make([]float64, n+1) // boundaries between parabolas
+	d := make([]float64, n)
+
+	k := 0
+	v[0] = 0
+	z[0] = math.Inf(-1)
+	z[1] = math.Inf(1)
+	for q := 1; q < n; q++ {
+		if math.IsInf(f[q], 1) {
+			continue // a parabola at +Inf never enters the envelope
+		}
+		var s float64
+		for {
+			p := v[k]
+			if math.IsInf(f[p], 1) {
+				// The only parabola so far is at +Inf: replace it.
+				k--
+				if k < 0 {
+					break
+				}
+				continue
+			}
+			s = ((f[q] + float64(q*q)) - (f[p] + float64(p*p))) / float64(2*q-2*p)
+			if s > z[k] {
+				break
+			}
+			k--
+			if k < 0 {
+				break
+			}
+		}
+		k++
+		v[k] = q
+		z[k] = s
+		if k == 0 {
+			z[0] = math.Inf(-1)
+		}
+		z[k+1] = math.Inf(1)
+	}
+
+	k = 0
+	for q := 0; q < n; q++ {
+		for z[k+1] < float64(q) {
+			k++
+		}
+		p := v[k]
+		if math.IsInf(f[p], 1) {
+			d[q] = math.Inf(1)
+		} else {
+			dq := float64(q - p)
+			d[q] = dq*dq + f[p]
+		}
+	}
+	copy(f, d)
+}
+
+// MaskRegion is a plate-oriented region defined by a set of cells of a
+// labeled raster (a land-cover map): support 1 deep inside the label's
+// cells, linear falloff across a band of half-width T (physical units)
+// around the cell-set boundary, 0 deep outside. Distances are exact
+// Euclidean (precomputed transform), so arbitrarily shaped regions —
+// coastlines, field patches — blend exactly like the analytic shapes.
+type MaskRegion struct {
+	signed *grid.Grid // signed distance to the label boundary (+ inside)
+	t      float64
+}
+
+// NewMaskRegion builds the region of cells where rounding mask's sample
+// equals label. The mask's geometry (Dx/Dy/X0/Y0) defines the physical
+// placement; outside the mask extent the region's support is that of
+// the nearest mask cell.
+func NewMaskRegion(mask *grid.Grid, label int, t float64) *MaskRegion {
+	nx, ny := mask.Nx, mask.Ny
+	inSet := make([]bool, nx*ny)
+	outSet := make([]bool, nx*ny)
+	for i, v := range mask.Data {
+		if int(math.Round(v)) == label {
+			inSet[i] = true
+		} else {
+			outSet[i] = true
+		}
+	}
+	dIn := edt2(outSet, nx, ny) // distance from an inside cell to the outside
+	dOut := edt2(inSet, nx, ny) // distance from an outside cell to the set
+	signed := grid.New(nx, ny)
+	signed.Dx, signed.Dy, signed.X0, signed.Y0 = mask.Dx, mask.Dy, mask.X0, mask.Y0
+	// Physical units: lattice distances scale by the (geometric-mean)
+	// spacing; half a cell is subtracted so the zero level sits on the
+	// cell edge between the sets rather than on cell centers.
+	scale := math.Sqrt(mask.Dx * mask.Dy)
+	for i := range signed.Data {
+		if inSet[i] {
+			signed.Data[i] = (math.Sqrt(dIn[i]) - 0.5) * scale
+		} else {
+			signed.Data[i] = -(math.Sqrt(dOut[i]) - 0.5) * scale
+		}
+	}
+	return &MaskRegion{signed: signed, t: t}
+}
+
+// Support implements Region by nearest-cell lookup of the precomputed
+// signed distance (clamped to the mask extent).
+func (m *MaskRegion) Support(x, y float64) float64 {
+	g := m.signed
+	ix := int(math.Round((x - g.X0) / g.Dx))
+	iy := int(math.Round((y - g.Y0) / g.Dy))
+	if ix < 0 {
+		ix = 0
+	}
+	if ix >= g.Nx {
+		ix = g.Nx - 1
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	if iy >= g.Ny {
+		iy = g.Ny - 1
+	}
+	return ramp(g.At(ix, iy), m.t)
+}
+
+// RegionsFromLabels builds one MaskRegion per distinct (rounded) label
+// value in the mask, returning the sorted labels and their regions in
+// matching order — ready to pair with per-label kernels in a
+// PlateBlender.
+func RegionsFromLabels(mask *grid.Grid, t float64) (labels []int, regions []Region) {
+	seen := map[int]bool{}
+	for _, v := range mask.Data {
+		seen[int(math.Round(v))] = true
+	}
+	for l := range seen {
+		labels = append(labels, l)
+	}
+	// Insertion sort: label counts are tiny.
+	for i := 1; i < len(labels); i++ {
+		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
+			labels[j], labels[j-1] = labels[j-1], labels[j]
+		}
+	}
+	for _, l := range labels {
+		regions = append(regions, NewMaskRegion(mask, l, t))
+	}
+	return labels, regions
+}

@@ -1,0 +1,181 @@
+package inhomo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/rng"
+	"roughsurface/internal/spectrum"
+	"roughsurface/internal/stats"
+)
+
+// bruteEDT2 is the O(N²·M) reference implementation.
+func bruteEDT2(mask []bool, nx, ny int) []float64 {
+	out := make([]float64, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			best := math.Inf(1)
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					if !mask[j*nx+i] {
+						continue
+					}
+					d := float64((x-i)*(x-i) + (y-j)*(y-j))
+					if d < best {
+						best = d
+					}
+				}
+			}
+			out[y*nx+x] = best
+		}
+	}
+	return out
+}
+
+func TestEDTSingleFeature(t *testing.T) {
+	nx, ny := 7, 5
+	mask := make([]bool, nx*ny)
+	mask[2*nx+3] = true // feature at (3,2)
+	got := edt2(mask, nx, ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			want := float64((x-3)*(x-3) + (y-2)*(y-2))
+			if got[y*nx+x] != want {
+				t.Fatalf("(%d,%d): %g want %g", x, y, got[y*nx+x], want)
+			}
+		}
+	}
+}
+
+func TestEDTEmptyAndFull(t *testing.T) {
+	mask := make([]bool, 12)
+	d := edt2(mask, 4, 3)
+	for _, v := range d {
+		if !math.IsInf(v, 1) {
+			t.Fatal("empty mask should give +Inf everywhere")
+		}
+	}
+	for i := range mask {
+		mask[i] = true
+	}
+	d = edt2(mask, 4, 3)
+	for _, v := range d {
+		if v != 0 {
+			t.Fatal("full mask should give 0 everywhere")
+		}
+	}
+}
+
+func TestQuickEDTMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64, rawNx, rawNy uint8) bool {
+		nx := int(rawNx)%14 + 2
+		ny := int(rawNy)%14 + 2
+		src := rng.NewSource(seed)
+		mask := make([]bool, nx*ny)
+		any := false
+		for i := range mask {
+			mask[i] = src.Float64() < 0.3
+			any = any || mask[i]
+		}
+		got := edt2(mask, nx, ny)
+		want := bruteEDT2(mask, nx, ny)
+		for i := range got {
+			if !any {
+				if !math.IsInf(got[i], 1) {
+					return false
+				}
+				continue
+			}
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkerMask() *grid.Grid {
+	// 32×32 map: label 1 inside a blob, label 0 elsewhere.
+	m := grid.NewCentered(32, 32, 4, 4)
+	for iy := 10; iy < 24; iy++ {
+		for ix := 6; ix < 20; ix++ {
+			m.Set(ix, iy, 1)
+		}
+	}
+	return m
+}
+
+func TestMaskRegionSupportGeometry(t *testing.T) {
+	m := checkerMask()
+	r := NewMaskRegion(m, 1, 8)
+	// Deep inside the blob (cell (12,16) → physical via mask geometry).
+	x, y := m.XY(12, 16)
+	if got := r.Support(x, y); got != 1 {
+		t.Errorf("deep inside support %g", got)
+	}
+	// Deep outside.
+	x, y = m.XY(1, 1)
+	if got := r.Support(x, y); got != 0 {
+		t.Errorf("deep outside support %g", got)
+	}
+	// Just inside vs just outside the boundary: supports straddle 1/2.
+	xin, yin := m.XY(6, 16)   // boundary cell inside
+	xout, yout := m.XY(5, 16) // adjacent outside cell
+	sin := r.Support(xin, yin)
+	sout := r.Support(xout, yout)
+	if !(sin > 0.5 && sout < 0.5 && sin < 1 && sout > 0) {
+		t.Errorf("boundary supports: in %g out %g", sin, sout)
+	}
+	// Symmetry about the cell edge.
+	if math.Abs((sin-0.5)-(0.5-sout)) > 1e-12 {
+		t.Errorf("boundary ramp asymmetric: %g vs %g", sin, sout)
+	}
+}
+
+func TestRegionsFromLabels(t *testing.T) {
+	m := checkerMask()
+	labels, regions := RegionsFromLabels(m, 8)
+	if len(labels) != 2 || labels[0] != 0 || labels[1] != 1 {
+		t.Fatalf("labels %v", labels)
+	}
+	// The two regions partition (approximately) everywhere: supports sum
+	// to ~1 at any probe.
+	for _, p := range [][2]int{{1, 1}, {12, 16}, {6, 16}, {31, 31}, {5, 16}} {
+		x, y := m.XY(p[0], p[1])
+		s := regions[0].Support(x, y) + regions[1].Support(x, y)
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("cell %v: supports sum to %g", p, s)
+		}
+	}
+}
+
+// TestGenerateFromLabelMask: end to end — a labeled map drives an
+// inhomogeneous surface whose zones carry their own statistics.
+func TestGenerateFromLabelMask(t *testing.T) {
+	m := checkerMask() // physical extent 128×128, blob ≈ 56×56 centered at (-12, 4)
+	_, regions := RegionsFromLabels(m, 8)
+	blender, err := NewPlateBlender(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := convgen.MustDesign(spectrum.MustGaussian(0.3, 5, 5), 1, 1, 8, 1e-4)
+	rough := convgen.MustDesign(spectrum.MustGaussian(2.0, 5, 5), 1, 1, 8, 1e-4)
+	gen := MustGenerator([]*convgen.Kernel{calm, rough}, blender, 606)
+	surf := gen.GenerateCentered(128, 128)
+
+	// Blob core in surface lattice coordinates: the blob spans physical
+	// x ∈ [-40, 16), y ∈ [-24, 40); take a patch near its center.
+	blob := surf.Sub(40, 72, 24, 24) // physical (-24..0, 8..32): inside
+	plain := surf.Sub(4, 4, 24, 24)  // far corner: outside
+	sb := stats.Describe(blob.Data).Std
+	sp := stats.Describe(plain.Data).Std
+	if !(sb > 3*sp) {
+		t.Errorf("mask-driven contrast missing: blob %g plain %g", sb, sp)
+	}
+}

@@ -1,0 +1,167 @@
+package inhomo
+
+import (
+	"fmt"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/par"
+	"roughsurface/internal/rng"
+)
+
+// Generator synthesizes inhomogeneous surfaces from M homogeneous
+// component kernels and a Blender. All kernels must share the sample
+// spacing; they may differ in size.
+type Generator struct {
+	kernels []*convgen.Kernel
+	convs   []*convgen.Generator // one per component, sharing the noise seed
+	blender Blender
+	seed    uint64
+
+	// Workers bounds per-call parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Reference forces the literal per-point evaluation of eqn (46)
+	// instead of the algebraically identical blended-fields fast path.
+	// O(outputs × taps × M); intended for validation.
+	Reference bool
+
+	dx, dy float64
+}
+
+// NewGenerator validates the component set against the blender.
+func NewGenerator(kernels []*convgen.Kernel, blender Blender, seed uint64) (*Generator, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("inhomo: no component kernels")
+	}
+	if blender == nil {
+		return nil, fmt.Errorf("inhomo: nil blender")
+	}
+	if blender.NumComponents() != len(kernels) {
+		return nil, fmt.Errorf("inhomo: blender expects %d components, got %d kernels",
+			blender.NumComponents(), len(kernels))
+	}
+	dx, dy := kernels[0].Dx, kernels[0].Dy
+	convs := make([]*convgen.Generator, len(kernels))
+	for i, k := range kernels {
+		if k.Dx != dx || k.Dy != dy {
+			return nil, fmt.Errorf("inhomo: kernel %d spacing (%g,%g) differs from (%g,%g)",
+				i, k.Dx, k.Dy, dx, dy)
+		}
+		convs[i] = convgen.NewGenerator(k, seed) // same seed → same noise field
+	}
+	return &Generator{kernels: kernels, convs: convs, blender: blender, seed: seed, dx: dx, dy: dy}, nil
+}
+
+// MustGenerator is NewGenerator that panics on error.
+func MustGenerator(kernels []*convgen.Kernel, blender Blender, seed uint64) *Generator {
+	g, err := NewGenerator(kernels, blender, seed)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GenerateAt materializes the window with lower lattice corner (i0, j0)
+// of nx×ny samples.
+func (g *Generator) GenerateAt(i0, j0 int64, nx, ny int) *grid.Grid {
+	if g.Reference {
+		return g.generateReference(i0, j0, nx, ny)
+	}
+	return g.generateFast(i0, j0, nx, ny)
+}
+
+// GenerateCentered materializes an nx×ny window centered on the lattice
+// origin (the paper's figure convention).
+func (g *Generator) GenerateCentered(nx, ny int) *grid.Grid {
+	return g.GenerateAt(-int64(nx/2), -int64(ny/2), nx, ny)
+}
+
+// generateFast produces each component's homogeneous surface from the
+// shared noise field and mixes them pointwise: f = Σ_m g_n(m)·F_m(n).
+// This is eqn (46) after exchanging the two sums.
+func (g *Generator) generateFast(i0, j0 int64, nx, ny int) *grid.Grid {
+	fields := make([]*grid.Grid, len(g.kernels))
+	for m, cg := range g.convs {
+		cg.Workers = g.Workers
+		fields[m] = cg.GenerateAt(i0, j0, nx, ny)
+	}
+	out := g.newWindow(i0, j0, nx, ny)
+	par.For(ny, g.Workers, func(lo, hi int) {
+		w := make([]float64, len(g.kernels))
+		for j := lo; j < hi; j++ {
+			y := float64(j0+int64(j)) * g.dy
+			for i := 0; i < nx; i++ {
+				x := float64(i0+int64(i)) * g.dx
+				g.blender.BlendWeights(w, x, y)
+				var acc float64
+				for m := range fields {
+					acc += w[m] * fields[m].Data[j*nx+i]
+				}
+				out.Data[j*nx+i] = acc
+			}
+		}
+	})
+	return out
+}
+
+// generateReference evaluates eqn (46) literally: at every output point
+// the blended kernel Σ_m g·w̃(m) is applied to the noise window.
+func (g *Generator) generateReference(i0, j0 int64, nx, ny int) *grid.Grid {
+	field := rng.NewField(g.seed)
+	out := g.newWindow(i0, j0, nx, ny)
+	par.For(ny, g.Workers, func(lo, hi int) {
+		w := make([]float64, len(g.kernels))
+		for j := lo; j < hi; j++ {
+			y := float64(j0+int64(j)) * g.dy
+			for i := 0; i < nx; i++ {
+				x := float64(i0+int64(i)) * g.dx
+				g.blender.BlendWeights(w, x, y)
+				var acc float64
+				for m, k := range g.kernels {
+					if w[m] == 0 {
+						continue
+					}
+					var conv float64
+					for b := 0; b < k.Ny; b++ {
+						jn := j0 + int64(j) + int64(b-k.CY)
+						for a := 0; a < k.Nx; a++ {
+							in := i0 + int64(i) + int64(a-k.CX)
+							conv += k.At(a, b) * field.At(in, jn)
+						}
+					}
+					acc += w[m] * conv
+				}
+				out.Data[j*nx+i] = acc
+			}
+		}
+	})
+	return out
+}
+
+func (g *Generator) newWindow(i0, j0 int64, nx, ny int) *grid.Grid {
+	out := grid.New(nx, ny)
+	out.Dx, out.Dy = g.dx, g.dy
+	out.X0 = float64(i0) * g.dx
+	out.Y0 = float64(j0) * g.dy
+	return out
+}
+
+// WeightMap renders component m's blend weight over a window — useful
+// for inspecting transition geometry and for the per-region statistics
+// in the experiment harness.
+func (g *Generator) WeightMap(m int, i0, j0 int64, nx, ny int) *grid.Grid {
+	if m < 0 || m >= len(g.kernels) {
+		panic(fmt.Sprintf("inhomo: WeightMap component %d of %d", m, len(g.kernels)))
+	}
+	out := g.newWindow(i0, j0, nx, ny)
+	w := make([]float64, len(g.kernels))
+	for j := 0; j < ny; j++ {
+		y := float64(j0+int64(j)) * g.dy
+		for i := 0; i < nx; i++ {
+			x := float64(i0+int64(i)) * g.dx
+			g.blender.BlendWeights(w, x, y)
+			out.Data[j*nx+i] = w[m]
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package inhomo
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/spectrum"
+	"roughsurface/internal/stats"
+)
+
+// TestLocalAutocorrelationPerRegion validates the paper's central
+// premise: away from transitions, each region of an inhomogeneous
+// surface carries the autocorrelation of its own homogeneous model.
+// Two half-planes share h but differ 3x in correlation length; the
+// measured ACF profile in each core must track its own analytic ρ and
+// not the neighbour's.
+func TestLocalAutocorrelationPerRegion(t *testing.T) {
+	sShort := spectrum.MustGaussian(1.0, 5, 5)
+	sLong := spectrum.MustGaussian(1.0, 15, 15)
+	kShort := convgen.MustDesign(sShort, 1, 1, 8, 1e-5)
+	kLong := convgen.MustDesign(sLong, 1, 1, 8, 1e-5)
+	blender, err := NewPlateBlender([]Region{
+		Rect{X0: math.Inf(-1), Y0: math.Inf(-1), X1: 0, Y1: math.Inf(1), T: 10},
+		Rect{X0: 0, Y0: math.Inf(-1), X1: math.Inf(1), Y1: math.Inf(1), T: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := MustGenerator([]*convgen.Kernel{kShort, kLong}, blender, 404)
+	surf := gen.GenerateCentered(512, 512)
+
+	check := func(name string, x0 int, s spectrum.Spectrum, wrong spectrum.Spectrum) {
+		core := surf.Sub(x0, 0, 192, 512)
+		cov := stats.AutocovarianceFFTZeroMean(core)
+		var own, other float64
+		for lag := 1; lag <= 20; lag++ {
+			d1 := cov.At(lag, 0) - s.Autocorrelation(float64(lag), 0)
+			d2 := cov.At(lag, 0) - wrong.Autocorrelation(float64(lag), 0)
+			own += d1 * d1
+			other += d2 * d2
+		}
+		if !(own < other/4) {
+			t.Errorf("%s core: ACF closer to the wrong model (own RMSE² %g vs other %g)",
+				name, own, other)
+		}
+	}
+	check("short-cl", 16, sShort, sLong) // columns 16..208, seam at 256
+	check("long-cl", 304, sLong, sShort) // columns 304..496
+}
+
+// TestPointOrientedLocalVariancePerSector: in a three-point scene each
+// point's neighbourhood carries its own variance (paper §3.2's premise),
+// checked with RMS-about-zero in discs near each point.
+func TestPointOrientedLocalVariancePerSector(t *testing.T) {
+	specs := []spectrum.Spectrum{
+		spectrum.MustGaussian(0.5, 6, 6),
+		spectrum.MustGaussian(1.5, 6, 6),
+		spectrum.MustGaussian(3.0, 6, 6),
+	}
+	kernels := make([]*convgen.Kernel, len(specs))
+	for i, s := range specs {
+		kernels[i] = convgen.MustDesign(s, 1, 1, 8, 1e-5)
+	}
+	blender, err := NewPointBlender([]Point{
+		{X: -120, Y: 0, Component: 0},
+		{X: 60, Y: 104, Component: 1},
+		{X: 60, Y: -104, Component: 2},
+	}, 30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := MustGenerator(kernels, blender, 505)
+	surf := gen.GenerateCentered(384, 384)
+
+	rmsAround := func(px, py float64) float64 {
+		ix := int((px - surf.X0) / surf.Dx)
+		iy := int((py - surf.Y0) / surf.Dy)
+		sub := surf.Sub(ix-30, iy-30, 60, 60)
+		var ms float64
+		for _, v := range sub.Data {
+			ms += v * v
+		}
+		return math.Sqrt(ms / float64(len(sub.Data)))
+	}
+	got := []float64{rmsAround(-120, 0), rmsAround(60, 104), rmsAround(60, -104)}
+	want := []float64{0.5, 1.5, 3.0}
+	for i := range got {
+		if math.Abs(got[i]-want[i])/want[i] > 0.35 {
+			t.Errorf("point %d: local h %g want %g", i, got[i], want[i])
+		}
+	}
+	if !(got[0] < got[1] && got[1] < got[2]) {
+		t.Errorf("local roughness ordering broken: %v", got)
+	}
+}

@@ -1,0 +1,304 @@
+package oned
+
+import (
+	"fmt"
+	"math"
+
+	"roughsurface/internal/fft"
+	"roughsurface/internal/rng"
+)
+
+// Weights builds the 1D discrete weighting vector (the 1D analogue of
+// paper eqn 15): w[m] = (2π/L)·W(k_m̃), k_m = 2π·m̃/L with index
+// folding, for an n-point DFT over physical length L = n·dx.
+func Weights(s Spectrum, n int, dx float64) []float64 {
+	if n < 2 {
+		panic(fmt.Sprintf("oned: weight vector needs n >= 2, got %d", n))
+	}
+	if !(dx > 0) {
+		panic(fmt.Sprintf("oned: invalid spacing %g", dx))
+	}
+	l := float64(n) * dx
+	dk := 2 * math.Pi / l
+	w := make([]float64, n)
+	for m := range w {
+		f := m
+		if 2*m > n {
+			f = n - m
+		}
+		w[m] = dk * s.Density(dk*float64(f))
+	}
+	return w
+}
+
+// Kernel is the 1D convolution-method weighting vector: centered FIR
+// taps whose self-correlation equals the autocorrelation ρ.
+type Kernel struct {
+	C    int // index of the zero-lag tap
+	Dx   float64
+	Taps []float64
+}
+
+// DesignKernel builds and truncates a 1D kernel: design grid of the
+// next power of two covering spanCL correlation lengths (default 8 for
+// spanCL <= 0), truncated to retain 1−eps of the tap energy (default
+// 1e-4; pass a negative eps to skip truncation).
+func DesignKernel(s Spectrum, dx, spanCL, eps float64) (*Kernel, error) {
+	if !(dx > 0) {
+		return nil, fmt.Errorf("oned: invalid spacing %g", dx)
+	}
+	if spanCL <= 0 {
+		spanCL = 8
+	}
+	n := 16
+	for float64(n) < spanCL*s.CorrelationLength()/dx {
+		n <<= 1
+	}
+	w := Weights(s, n, dx)
+	work := make([]complex128, n)
+	for i, v := range w {
+		work[i] = complex(math.Sqrt(v), 0)
+	}
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	plan.Forward(work, work)
+	taps := make([]float64, n)
+	scale := 1 / math.Sqrt(float64(n))
+	for i, z := range work {
+		// fft-shift: center the kernel.
+		taps[(i+n/2)%n] = real(z) * scale
+		if math.Abs(imag(z)) > 1e-9*(1+s.SigmaH()) {
+			return nil, fmt.Errorf("oned: kernel transform not real (bin %d residue %g)", i, imag(z))
+		}
+	}
+	k := &Kernel{C: n / 2, Dx: dx, Taps: taps}
+	if eps < 0 {
+		return k, nil
+	}
+	if eps == 0 {
+		eps = 1e-4
+	}
+	return k.truncate(eps), nil
+}
+
+// Energy returns Σ taps² ≈ h².
+func (k *Kernel) Energy() float64 {
+	var e float64
+	for _, t := range k.Taps {
+		e += t * t
+	}
+	return e
+}
+
+func (k *Kernel) truncate(eps float64) *Kernel {
+	total := k.Energy()
+	if total == 0 {
+		return k
+	}
+	acc := k.Taps[k.C] * k.Taps[k.C]
+	r := 0
+	for acc < (1-eps)*total {
+		r++
+		grew := false
+		if lo := k.C - r; lo >= 0 {
+			acc += k.Taps[lo] * k.Taps[lo]
+			grew = true
+		}
+		if hi := k.C + r; hi < len(k.Taps) {
+			acc += k.Taps[hi] * k.Taps[hi]
+			grew = true
+		}
+		if !grew {
+			break
+		}
+	}
+	lo := clampIdx(k.C-r, len(k.Taps))
+	hi := clampIdx(k.C+r+1, len(k.Taps))
+	return &Kernel{C: k.C - lo, Dx: k.Dx, Taps: append([]float64(nil), k.Taps[lo:hi]...)}
+}
+
+func clampIdx(v, n int) int {
+	if v < 0 {
+		return 0
+	}
+	if v > n {
+		return n
+	}
+	return v
+}
+
+// Generator produces 1D profiles by the convolution method over the
+// counter-based noise field (row j = 0 of the 2D field, so 1D and 2D
+// generators with the same seed are independent streams for j ≠ 0).
+type Generator struct {
+	kernel *Kernel
+	field  rng.Field
+}
+
+// NewGenerator wraps a kernel and a seed.
+func NewGenerator(k *Kernel, seed uint64) *Generator {
+	return &Generator{kernel: k, field: rng.NewField(seed)}
+}
+
+// Kernel exposes the generator's kernel.
+func (g *Generator) Kernel() *Kernel { return g.kernel }
+
+// GenerateAt materializes profile samples for lattice indices
+// [i0, i0+n): out[i] = f((i0+i)·dx).
+func (g *Generator) GenerateAt(i0 int64, n int) []float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("oned: invalid window %d", n))
+	}
+	k := g.kernel
+	w := n + len(k.Taps) - 1
+	noise := make([]float64, w)
+	base := i0 - int64(k.C)
+	for i := range noise {
+		noise[i] = g.field.At(base+int64(i), 0)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		var acc float64
+		seg := noise[i : i+len(k.Taps)]
+		for a, tap := range k.Taps {
+			acc += tap * seg[a]
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// GenerateCentered materializes n samples centered on the origin.
+func (g *Generator) GenerateCentered(n int) []float64 {
+	return g.GenerateAt(-int64(n/2), n)
+}
+
+// DirectDFT synthesizes one n-sample homogeneous profile by the 1D
+// direct DFT method (the 1D analogue of paper eqn 30): a Hermitian
+// Gaussian vector weighted by sqrt(w) and transformed.
+func DirectDFT(s Spectrum, n int, dx float64, normal rng.Normal) []float64 {
+	w := Weights(s, n, dx)
+	u := make([]complex128, n)
+	invSqrt2 := 1 / math.Sqrt2
+	for m := 0; m <= n/2; m++ {
+		p := (n - m) % n
+		if p == m {
+			u[m] = complex(normal.Next(), 0)
+			continue
+		}
+		re := normal.Next() * invSqrt2
+		im := normal.Next() * invSqrt2
+		u[m] = complex(re, im)
+		u[p] = complex(re, -im)
+	}
+	for m := range u {
+		u[m] *= complex(math.Sqrt(w[m]), 0)
+	}
+	plan := fft.MustPlan(n)
+	plan.InverseUnscaled(u, u)
+	out := make([]float64, n)
+	for i, z := range u {
+		out[i] = real(z)
+	}
+	return out
+}
+
+// Piecewise blends homogeneous 1D components along the axis: component
+// m rules the interval around Breaks[m-1]..Breaks[m] with linear
+// cross-fades of half-width T at each break — the 1D specialization of
+// the plate-oriented method.
+type Piecewise struct {
+	gens   []*Generator
+	breaks []float64
+	t      float64
+	dx     float64
+}
+
+// NewPiecewise builds the blender: len(kernels) = len(breaks)+1
+// components; breaks must be strictly increasing.
+func NewPiecewise(kernels []*Kernel, breaks []float64, t float64, seed uint64) (*Piecewise, error) {
+	if len(kernels) < 1 {
+		return nil, fmt.Errorf("oned: need at least one kernel")
+	}
+	if len(kernels) != len(breaks)+1 {
+		return nil, fmt.Errorf("oned: %d kernels need %d breaks, got %d",
+			len(kernels), len(kernels)-1, len(breaks))
+	}
+	if !(t >= 0) {
+		return nil, fmt.Errorf("oned: negative transition half-width %g", t)
+	}
+	dx := kernels[0].Dx
+	for i := 1; i < len(breaks); i++ {
+		if breaks[i] <= breaks[i-1] {
+			return nil, fmt.Errorf("oned: breaks not increasing at %d", i)
+		}
+	}
+	gens := make([]*Generator, len(kernels))
+	for i, k := range kernels {
+		if k.Dx != dx {
+			return nil, fmt.Errorf("oned: kernel %d spacing %g differs from %g", i, k.Dx, dx)
+		}
+		gens[i] = NewGenerator(k, seed)
+	}
+	return &Piecewise{gens: gens, breaks: breaks, t: t, dx: dx}, nil
+}
+
+// weight returns component m's blend weight at position x: 1 deep in
+// its interval, linear ramps of half-width t at its breaks.
+func (p *Piecewise) weight(m int, x float64) float64 {
+	w := 1.0
+	if m > 0 { // left edge at breaks[m-1]
+		w = math.Min(w, rampAt(x-p.breaks[m-1], p.t))
+	}
+	if m < len(p.breaks) { // right edge at breaks[m]
+		w = math.Min(w, rampAt(p.breaks[m]-x, p.t))
+	}
+	return w
+}
+
+func rampAt(d, t float64) float64 {
+	if t <= 0 {
+		if d >= 0 {
+			return 1
+		}
+		return 0
+	}
+	v := 0.5 + d/(2*t)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// GenerateAt materializes the blended profile for lattice indices
+// [i0, i0+n).
+func (p *Piecewise) GenerateAt(i0 int64, n int) []float64 {
+	fields := make([][]float64, len(p.gens))
+	for m, g := range p.gens {
+		fields[m] = g.GenerateAt(i0, n)
+	}
+	out := make([]float64, n)
+	ws := make([]float64, len(p.gens))
+	for i := range out {
+		x := float64(i0+int64(i)) * p.dx
+		var sum float64
+		for m := range ws {
+			ws[m] = p.weight(m, x)
+			sum += ws[m]
+		}
+		if sum <= 0 {
+			sum = 1
+		}
+		var acc float64
+		for m := range ws {
+			acc += ws[m] / sum * fields[m][i]
+		}
+		out[i] = acc
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package oned
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/fft"
+	"roughsurface/internal/rng"
+	"roughsurface/internal/stats"
+)
+
+func allSpectra() []Spectrum {
+	return []Spectrum{
+		MustGaussian(1.3, 10),
+		MustExponential(0.9, 12),
+		MustPowerLaw(1.1, 10, 2),
+		MustPowerLaw(1.0, 8, 3),
+	}
+}
+
+func TestConstructorsValidate(t *testing.T) {
+	if _, err := NewGaussian(0, 5); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := NewExponential(1, -5); err == nil {
+		t.Error("cl<0 accepted")
+	}
+	if _, err := NewPowerLaw(1, 5, 1); err == nil {
+		t.Error("N=1 accepted")
+	}
+}
+
+func TestDensityIntegratesToVariance(t *testing.T) {
+	for _, s := range allSpectra() {
+		// Trapezoid over a wide symmetric window; the 1D heavy tails
+		// decay like k^{-2} (exponential) so the window must be wide.
+		cl := s.CorrelationLength()
+		km := 3000 / cl
+		n := 2_000_000
+		dk := 2 * km / float64(n)
+		var sum float64
+		for i := 0; i < n; i++ {
+			k := -km + (float64(i)+0.5)*dk
+			sum += s.Density(k)
+		}
+		sum *= dk
+		h2 := s.SigmaH() * s.SigmaH()
+		if math.Abs(sum-h2)/h2 > 0.01 {
+			t.Errorf("%s: ∫W = %g want %g", s.Name(), sum, h2)
+		}
+	}
+}
+
+func TestAutocorrelationProperties(t *testing.T) {
+	for _, s := range allSpectra() {
+		h2 := s.SigmaH() * s.SigmaH()
+		if got := s.Autocorrelation(0); math.Abs(got-h2) > 1e-9*h2 {
+			t.Errorf("%s: ρ(0) = %g want %g", s.Name(), got, h2)
+		}
+		if s.Autocorrelation(3) != s.Autocorrelation(-3) {
+			t.Errorf("%s: ρ not even", s.Name())
+		}
+		prev := h2
+		for _, x := range []float64{1, 2, 5, 10, 25, 60} {
+			cur := s.Autocorrelation(x)
+			if cur > prev+1e-12 {
+				t.Errorf("%s: ρ not decaying at %g", s.Name(), x)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestExponentialOneOverE(t *testing.T) {
+	s := MustExponential(2, 9)
+	if got := s.Autocorrelation(9); math.Abs(got-4/math.E) > 1e-12 {
+		t.Errorf("ρ(cl) = %g want h²/e", got)
+	}
+}
+
+// TestWeightDFTMatchesAutocorrelation is the 1D version of experiment
+// E5: the exact Fourier-pair check for all three families, which pins
+// both the density normalizations and the Bessel-K power-law pair.
+func TestWeightDFTMatchesAutocorrelation(t *testing.T) {
+	cases := []struct {
+		s   Spectrum
+		tol float64
+	}{
+		{MustGaussian(1.3, 10), 1e-8},
+		{MustPowerLaw(1.1, 10, 2), 0.03},
+		{MustPowerLaw(1.0, 10, 3), 0.03},
+		{MustExponential(0.9, 10), 0.08}, // k^{-2} tail beyond Nyquist
+	}
+	const n = 4096
+	plan := fft.MustPlan(n)
+	for _, c := range cases {
+		w := Weights(c.s, n, 1)
+		work := make([]complex128, n)
+		for i, v := range w {
+			work[i] = complex(v, 0)
+		}
+		plan.InverseUnscaled(work, work)
+		h2 := c.s.SigmaH() * c.s.SigmaH()
+		var rmse float64
+		for i := 0; i < n; i++ {
+			lag := i
+			if 2*i > n {
+				lag = n - i
+			}
+			d := real(work[i]) - c.s.Autocorrelation(float64(lag))
+			rmse += d * d
+		}
+		rmse = math.Sqrt(rmse/float64(n)) / h2
+		if rmse > c.tol {
+			t.Errorf("%s: DFT(w) vs ρ relative RMSE %g > %g", c.s.Name(), rmse, c.tol)
+		}
+	}
+}
+
+func TestKernelSelfCorrelationIsAutocorrelation(t *testing.T) {
+	for _, c := range []struct {
+		s   Spectrum
+		tol float64
+	}{
+		{MustGaussian(1.3, 10), 1e-5},
+		{MustExponential(0.9, 10), 0.08},
+	} {
+		k, err := DesignKernel(c.s, 1, 16, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := c.s.SigmaH() * c.s.SigmaH()
+		for _, lag := range []int{0, 1, 3, 7, 15} {
+			var acc float64
+			for i := 0; i+lag < len(k.Taps); i++ {
+				acc += k.Taps[i] * k.Taps[i+lag]
+			}
+			want := c.s.Autocorrelation(float64(lag))
+			if math.Abs(acc-want)/h2 > c.tol {
+				t.Errorf("%s lag %d: kernel self-correlation %g vs ρ %g", c.s.Name(), lag, acc, want)
+			}
+		}
+	}
+}
+
+func TestKernelTruncation(t *testing.T) {
+	full, err := DesignKernel(MustGaussian(1, 8), 1, 8, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := DesignKernel(MustGaussian(1, 8), 1, 8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Taps) >= len(full.Taps) {
+		t.Errorf("truncation did not shrink: %d vs %d taps", len(tr.Taps), len(full.Taps))
+	}
+	if tr.Energy() < (1-1e-4)*full.Energy() {
+		t.Error("truncated energy below criterion")
+	}
+	if tr.Taps[tr.C] != full.Taps[full.C] {
+		t.Error("center tap moved")
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	s := MustGaussian(1.5, 10)
+	k, err := DesignKernel(s, 1, 8, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(k, 7)
+	prof := g.GenerateCentered(65536)
+	sum := stats.Describe(prof)
+	if math.Abs(sum.Std-1.5)/1.5 > 0.08 {
+		t.Errorf("profile std %g want 1.5", sum.Std)
+	}
+	if math.Abs(sum.Mean) > 0.15 {
+		t.Errorf("profile mean %g", sum.Mean)
+	}
+	// Empirical autocorrelation at a few lags.
+	for _, lag := range []int{0, 5, 10, 20} {
+		var acc float64
+		n := len(prof) - lag
+		for i := 0; i < n; i++ {
+			acc += prof[i] * prof[i+lag]
+		}
+		acc /= float64(n)
+		want := s.Autocorrelation(float64(lag))
+		if math.Abs(acc-want) > 0.15 {
+			t.Errorf("lag %d: C = %g want %g", lag, acc, want)
+		}
+	}
+}
+
+func TestGenerateSeamless(t *testing.T) {
+	k, _ := DesignKernel(MustExponential(1, 6), 1, 8, 1e-4)
+	g := NewGenerator(k, 11)
+	a := g.GenerateAt(0, 200)
+	b := g.GenerateAt(100, 200)
+	for i := 0; i < 100; i++ {
+		if a[100+i] != b[i] {
+			t.Fatalf("overlap mismatch at %d", i)
+		}
+	}
+}
+
+func TestDirectDFTStatistics(t *testing.T) {
+	s := MustExponential(1.2, 8)
+	prof := DirectDFT(s, 32768, 1, rng.NewZiggurat(5))
+	sum := stats.Describe(prof)
+	if math.Abs(sum.Std-1.2)/1.2 > 0.1 {
+		t.Errorf("direct-DFT std %g want 1.2", sum.Std)
+	}
+	// Odd length must work (Bluestein path) and stay real.
+	profOdd := DirectDFT(s, 999, 1, rng.NewGaussian(6))
+	if len(profOdd) != 999 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	k, _ := DesignKernel(MustGaussian(1, 5), 1, 6, 1e-3)
+	if _, err := NewPiecewise(nil, nil, 5, 1); err == nil {
+		t.Error("no kernels accepted")
+	}
+	if _, err := NewPiecewise([]*Kernel{k, k}, nil, 5, 1); err == nil {
+		t.Error("missing break accepted")
+	}
+	if _, err := NewPiecewise([]*Kernel{k, k, k}, []float64{10, 5}, 5, 1); err == nil {
+		t.Error("non-increasing breaks accepted")
+	}
+	if _, err := NewPiecewise([]*Kernel{k, k}, []float64{0}, -1, 1); err == nil {
+		t.Error("negative T accepted")
+	}
+}
+
+func TestPiecewiseRegionsAndTransition(t *testing.T) {
+	calm, _ := DesignKernel(MustGaussian(0.3, 5), 1, 8, 1e-4)
+	rough, _ := DesignKernel(MustGaussian(3.0, 5), 1, 8, 1e-4)
+	p, err := NewPiecewise([]*Kernel{calm, rough}, []float64{0}, 20, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := p.GenerateAt(-2048, 4096)
+	left := prof[:1500]  // x < -548: calm core
+	right := prof[2600:] // x > 552: rough core
+	sl := stats.Describe(left).Std
+	sr := stats.Describe(right).Std
+	if math.Abs(sl-0.3) > 0.1 {
+		t.Errorf("calm side std %g want 0.3", sl)
+	}
+	if math.Abs(sr-3.0) > 0.8 {
+		t.Errorf("rough side std %g want 3.0", sr)
+	}
+	// Mid-transition sample should blend both components.
+	mid := prof[2048-10 : 2048+10]
+	sm := stats.Describe(mid).Std
+	if !(sm > sl && sm < sr) {
+		t.Errorf("transition std %g not between %g and %g", sm, sl, sr)
+	}
+	// Weight sanity.
+	if w := p.weight(0, -100); w != 1 {
+		t.Errorf("deep-left weight %g", w)
+	}
+	if w := p.weight(0, 0); w != 0.5 {
+		t.Errorf("break weight %g want 0.5", w)
+	}
+	if w := p.weight(1, 100); w != 1 {
+		t.Errorf("deep-right weight %g", w)
+	}
+}
+
+func TestWeightsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Weights(MustGaussian(1, 5), 1, 1)
+}

@@ -1,0 +1,62 @@
+// Package par provides small helpers for data-parallel loops used across
+// the library. All heavy kernels (2D FFT passes, convolution tiles,
+// per-region blending) funnel through these helpers so that parallelism
+// policy lives in one place.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers reports the degree of parallelism used when a caller
+// passes workers <= 0. It honors GOMAXPROCS so container CPU limits and
+// user overrides are respected.
+func DefaultWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For splits the half-open index range [0, n) into contiguous chunks and
+// runs fn(lo, hi) for each chunk on its own goroutine. It blocks until
+// all chunks complete. With workers <= 1 (or tiny n) it degrades to a
+// single direct call, avoiding goroutine overhead on small problems.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing iterations over
+// chunks as in For. Use For directly when per-chunk setup (scratch
+// buffers) matters; ForEach is for simple per-index work.
+func ForEach(n, workers int, fn func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

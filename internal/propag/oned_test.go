@@ -1,0 +1,118 @@
+package propag
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/oned"
+)
+
+// TestPathLossOver1DProfiles drives the propagation model with profiles
+// from the 1D generator — the exact workflow of the paper's program of
+// work (rough profile → propagation characteristic).
+func TestPathLossOver1DProfiles(t *testing.T) {
+	link := Link{Lambda: 0.125, TxH: 1.5, RxH: 1.5}
+
+	mkProfile := func(h float64, seed uint64) ([]float64, []float64) {
+		s := oned.MustGaussian(h, 10)
+		k, err := oned.DesignKernel(s, 1, 8, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heights := oned.NewGenerator(k, seed).GenerateCentered(801)
+		dists := make([]float64, len(heights))
+		for i := range dists {
+			dists[i] = float64(i)
+		}
+		return heights, dists
+	}
+
+	// Average diffraction loss over several realizations: rougher
+	// profiles lose more.
+	avgLoss := func(h float64) float64 {
+		var total float64
+		const trials = 6
+		for seed := uint64(1); seed <= trials; seed++ {
+			heights, dists := mkProfile(h, seed)
+			b, err := PathLoss(heights, dists, link)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += b.DiffractionDB
+		}
+		return total / trials
+	}
+
+	calm := avgLoss(0.3)
+	rough := avgLoss(3.0)
+	if !(rough > calm+10) {
+		t.Errorf("1D roughness-loss relation broken: calm %g dB vs rough %g dB", calm, rough)
+	}
+}
+
+// TestRangeShrinksWithRoughness1D: the communication-distance estimate
+// (paper ref [12]) decreases as the profile roughens.
+func TestRangeShrinksWithRoughness1D(t *testing.T) {
+	link := Link{Lambda: 0.125, TxH: 1.5, RxH: 1.5}
+	budget := 105.0
+
+	rangeFor := func(h float64) float64 {
+		s := oned.MustExponential(h, 8)
+		k, err := oned.DesignKernel(s, 1, 8, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heights := oned.NewGenerator(k, 3).GenerateAt(0, 1601)
+		dists := make([]float64, len(heights))
+		for i := range dists {
+			dists[i] = float64(i)
+		}
+		// Evaluate loss at increasing truncations of the same profile.
+		best := 0.0
+		for _, n := range []int{100, 200, 400, 800, 1600} {
+			b, err := PathLoss(heights[:n+1], dists[:n+1], link)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.TotalDB <= budget {
+				best = dists[n]
+			}
+		}
+		return best
+	}
+
+	calmRange := rangeFor(0.1)
+	roughRange := rangeFor(4.0)
+	if !(calmRange > roughRange) {
+		t.Errorf("range did not shrink with roughness: calm %g vs rough %g", calmRange, roughRange)
+	}
+	if calmRange < 800 {
+		t.Errorf("nearly flat ground should reach far, got %g", calmRange)
+	}
+}
+
+// TestFlatProfileInvariance: translating a flat profile vertically must
+// not change the loss (only relative heights matter).
+func TestFlatProfileInvariance(t *testing.T) {
+	link := Link{Lambda: 0.125, TxH: 2, RxH: 2}
+	dists := make([]float64, 101)
+	for i := range dists {
+		dists[i] = float64(i * 3)
+	}
+	flat0 := make([]float64, 101)
+	flat9 := make([]float64, 101)
+	for i := range flat9 {
+		flat9[i] = 9.5
+	}
+	a, err := PathLoss(flat0, dists, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PathLoss(flat9, dists, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.TotalDB-b.TotalDB) > 1e-9 {
+		t.Errorf("vertical translation changed loss: %g vs %g", a.TotalDB, b.TotalDB)
+	}
+}

@@ -1,0 +1,257 @@
+package propag
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/spectrum"
+)
+
+func flatGrid(nx, ny int, level float64) *grid.Grid {
+	g := grid.NewCentered(nx, ny, 1, 1)
+	g.Fill(level)
+	return g
+}
+
+func TestBilinearExactOnNodesAndMidpoints(t *testing.T) {
+	g := grid.New(3, 3)
+	// f(x, y) = 2x + 3y is reproduced exactly by bilinear interpolation.
+	for iy := 0; iy < 3; iy++ {
+		for ix := 0; ix < 3; ix++ {
+			g.Set(ix, iy, 2*float64(ix)+3*float64(iy))
+		}
+	}
+	for _, p := range [][2]float64{{0, 0}, {1, 1}, {0.5, 0.5}, {1.25, 0.75}, {2, 2}} {
+		got, err := Bilinear(g, p[0], p[1])
+		if err != nil {
+			t.Fatalf("point %v: %v", p, err)
+		}
+		want := 2*p[0] + 3*p[1]
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("Bilinear(%v) = %g want %g", p, got, want)
+		}
+	}
+}
+
+func TestBilinearRejectsOutside(t *testing.T) {
+	g := flatGrid(4, 4, 0)
+	if _, err := Bilinear(g, 100, 0); err == nil {
+		t.Error("outside point accepted")
+	}
+}
+
+func TestProfileGeometry(t *testing.T) {
+	g := flatGrid(64, 64, 1.5)
+	h, d, err := Profile(g, -20, 0, 20, 0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 21 || len(d) != 21 {
+		t.Fatal("wrong sample count")
+	}
+	if d[0] != 0 || math.Abs(d[20]-40) > 1e-12 {
+		t.Errorf("distance endpoints %g..%g", d[0], d[20])
+	}
+	for _, v := range h {
+		if v != 1.5 {
+			t.Fatal("flat profile should be constant")
+		}
+	}
+	if _, _, err := Profile(g, 0, 0, 0, 0, 10); err == nil {
+		t.Error("zero-length profile accepted")
+	}
+	if _, _, err := Profile(g, 0, 0, 1, 0, 1); err == nil {
+		t.Error("single-sample profile accepted")
+	}
+}
+
+func TestFreeSpaceLossKnownValue(t *testing.T) {
+	// 2.4 GHz (λ=0.125 m), 100 m: 20·log10(4π·100/0.125) ≈ 80.05 dB.
+	got := FreeSpaceLossDB(100, 0.125)
+	if math.Abs(got-80.05) > 0.02 {
+		t.Errorf("FSPL = %g want ≈80.05", got)
+	}
+	// Doubling distance adds 6.02 dB.
+	if d := FreeSpaceLossDB(200, 0.125) - got; math.Abs(d-6.0206) > 1e-3 {
+		t.Errorf("doubling distance added %g dB", d)
+	}
+}
+
+func TestKnifeEdgeLossAnchors(t *testing.T) {
+	// Grazing incidence (ν=0): ITU approximation gives ≈6.0 dB.
+	if got := KnifeEdgeLossDB(0); math.Abs(got-6.0) > 0.1 {
+		t.Errorf("J(0) = %g want ≈6.0", got)
+	}
+	// Deep shadow grows monotonically.
+	prev := KnifeEdgeLossDB(0)
+	for _, nu := range []float64{0.5, 1, 2, 5, 10} {
+		cur := KnifeEdgeLossDB(nu)
+		if cur <= prev {
+			t.Errorf("J not increasing at ν=%g", nu)
+		}
+		prev = cur
+	}
+	// Clear path: no loss.
+	if KnifeEdgeLossDB(-1) != 0 {
+		t.Error("J below -0.78 should be 0")
+	}
+	// Asymptote: J(ν) ≈ 13 + 20·log10(ν) for large ν.
+	if got, want := KnifeEdgeLossDB(10), 13+20*math.Log10(10.0); math.Abs(got-want) > 0.3 {
+		t.Errorf("J(10) = %g want ≈%g", got, want)
+	}
+}
+
+func TestFresnelNuScaling(t *testing.T) {
+	nu := FresnelNu(10, 100, 100, 0.125)
+	if nu <= 0 {
+		t.Fatal("positive obstacle should give positive ν")
+	}
+	// ν is linear in h.
+	if got := FresnelNu(20, 100, 100, 0.125); math.Abs(got-2*nu) > 1e-12 {
+		t.Error("ν not linear in h")
+	}
+	// Longer wavelength diffracts more easily (smaller ν).
+	if got := FresnelNu(10, 100, 100, 0.5); got >= nu {
+		t.Error("ν should shrink with wavelength")
+	}
+}
+
+func TestPathLossFlatTerrainIsFreeSpace(t *testing.T) {
+	g := flatGrid(256, 64, 0)
+	h, d, err := Profile(g, -100, 0, 100, 0, 201)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PathLoss(h, d, Link{Lambda: 0.125, TxH: 5, RxH: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DiffractionDB != 0 {
+		t.Errorf("flat terrain diffracting %g dB", b.DiffractionDB)
+	}
+	if math.Abs(b.FreeSpaceDB-FreeSpaceLossDB(200, 0.125)) > 1e-9 {
+		t.Errorf("free-space term %g", b.FreeSpaceDB)
+	}
+	if b.TotalDB != b.FreeSpaceDB+b.DiffractionDB {
+		t.Error("total inconsistent")
+	}
+}
+
+func TestPathLossSingleObstacleMatchesKnifeEdge(t *testing.T) {
+	// A single spike mid-path between low antennas: Deygout must find
+	// exactly that edge and charge the single-knife-edge loss for it.
+	n := 201
+	heights := make([]float64, n)
+	dists := make([]float64, n)
+	for i := range dists {
+		dists[i] = float64(i) // 200 units total
+	}
+	heights[100] = 8 // spike at midpoint
+	link := Link{Lambda: 0.125, TxH: 2, RxH: 2}
+	b, err := PathLoss(heights, dists, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Edges) == 0 || b.Edges[0] != 100 {
+		t.Fatalf("principal edge %v, want index 100 first", b.Edges)
+	}
+	nu := FresnelNu(8-2, 100, 100, 0.125)
+	want := KnifeEdgeLossDB(nu)
+	if math.Abs(b.DiffractionDB-want) > 0.5 {
+		t.Errorf("diffraction %g dB, want ≈%g (single edge)", b.DiffractionDB, want)
+	}
+}
+
+func TestPathLossMonotoneInObstacleHeight(t *testing.T) {
+	prev := -1.0
+	for _, hob := range []float64{1, 3, 6, 12} {
+		n := 101
+		heights := make([]float64, n)
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = float64(i * 2)
+		}
+		heights[50] = hob
+		b, err := PathLoss(heights, dists, Link{Lambda: 0.125, TxH: 1, RxH: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.DiffractionDB < prev {
+			t.Errorf("loss decreased for taller obstacle %g", hob)
+		}
+		prev = b.DiffractionDB
+	}
+}
+
+func TestPathLossValidation(t *testing.T) {
+	if _, err := PathLoss([]float64{1, 2}, []float64{0}, Link{Lambda: 1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PathLoss([]float64{1, 2}, []float64{0, 10}, Link{}); err == nil {
+		t.Error("zero wavelength accepted")
+	}
+	if _, err := PathLoss([]float64{1, 2}, []float64{10, 0}, Link{Lambda: 1}); err == nil {
+		t.Error("non-increasing distances accepted")
+	}
+}
+
+func TestSweepOverRoughSurface(t *testing.T) {
+	// Rough terrain: loss grows (at least weakly) with distance, and a
+	// rougher surface yields a shorter usable range on average — the
+	// qualitative relation the paper's program of work studies.
+	mk := func(h float64, seed uint64) *grid.Grid {
+		s := spectrum.MustGaussian(h, 8, 8)
+		k := convgen.MustDesign(s, 1, 1, 8, 1e-4)
+		return convgen.NewGenerator(k, seed).GenerateCentered(512, 128)
+	}
+	link := Link{Lambda: 0.125, TxH: 1.5, RxH: 1.5}
+	distances := []float64{40, 80, 120, 160, 200}
+
+	smooth := mk(0.3, 4)
+	rough := mk(3.0, 4) // same noise, 10x height scale
+	rs, err := Sweep(smooth, -240, 0, 1, 0, distances, link, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Sweep(rough, -240, 0, 1, 0, distances, link, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smoothTotal, roughTotal float64
+	for i := range rs {
+		smoothTotal += rs[i].TotalDB
+		roughTotal += rr[i].TotalDB
+	}
+	if roughTotal <= smoothTotal {
+		t.Errorf("rough terrain not lossier: %g vs %g dB aggregate", roughTotal, smoothTotal)
+	}
+	// Loss at the longest distance exceeds loss at the shortest.
+	if rr[len(rr)-1].TotalDB <= rr[0].TotalDB {
+		t.Error("loss did not grow with distance on rough terrain")
+	}
+
+	// Range estimation is consistent with the sweep it came from.
+	budget := rs[2].TotalDB // whatever loss the 120-unit link sees
+	if got := RangeAt(rs, budget); got < 120 {
+		t.Errorf("RangeAt(%g dB) = %g, want ≥ 120", budget, got)
+	}
+	if RangeAt(rs, 0) != 0 {
+		t.Error("impossible budget should yield zero range")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	g := flatGrid(64, 64, 0)
+	link := Link{Lambda: 0.125}
+	if _, err := Sweep(g, 0, 0, 0, 0, []float64{10}, link, 2); err == nil {
+		t.Error("zero direction accepted")
+	}
+	if _, err := Sweep(g, 0, 0, 1, 0, []float64{-5}, link, 2); err == nil {
+		t.Error("negative distance accepted")
+	}
+	if _, err := Sweep(g, 0, 0, 1, 0, []float64{1e6}, link, 2); err == nil {
+		t.Error("out-of-extent sweep accepted")
+	}
+}

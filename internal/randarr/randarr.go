@@ -1,0 +1,69 @@
+// Package randarr builds the Hermitian-symmetric complex Gaussian arrays
+// of paper §2.3 (eqns 19–28). The bookkeeping in the paper's eqns 21–28
+// exists to guarantee three properties, which this implementation states
+// directly:
+//
+//  1. conjugate symmetry u[(N−m) mod N] = conj(u[m]) in both axes, so the
+//     inverse transform Σ_m u[m]·e^{+j2πm·n/N} is exactly real;
+//  2. unit variance per bin: E|u[m]|² = 1 (generic bins are (X+jY)/√2,
+//     self-conjugate bins are real N(0,1));
+//  3. independence between bins that are not conjugate partners.
+//
+// Together these give paper eqn (33): DFT(u)/√(NxNy) is a real white
+// N(0,1) field.
+package randarr
+
+import (
+	"math"
+
+	"roughsurface/internal/grid"
+	"roughsurface/internal/rng"
+)
+
+// Hermitian returns an nx×ny complex Gaussian array with the three
+// properties above, drawing variates from g in a fixed raster order so
+// results are reproducible for a given seed.
+func Hermitian(nx, ny int, g rng.Normal) *grid.CGrid {
+	u := grid.NewC(nx, ny)
+	invSqrt2 := 1 / math.Sqrt2
+	for my := 0; my < ny; my++ {
+		py := (ny - my) % ny
+		for mx := 0; mx < nx; mx++ {
+			px := (nx - mx) % nx
+			self := u.Index(mx, my)
+			partner := u.Index(px, py)
+			switch {
+			case self == partner:
+				// Self-conjugate bin (DC or Nyquist in both axes):
+				// must be real to keep the transform real.
+				u.Data[self] = complex(g.Next(), 0)
+			case self < partner:
+				// Canonical member of the pair: draw both components
+				// here; the partner is the conjugate.
+				re := g.Next() * invSqrt2
+				im := g.Next() * invSqrt2
+				u.Data[self] = complex(re, im)
+				u.Data[partner] = complex(re, -im)
+			}
+			// self > partner: already filled when the partner was visited.
+		}
+	}
+	return u
+}
+
+// IsHermitian reports whether u satisfies the conjugate symmetry within
+// tol, and that all self-conjugate bins are real.
+func IsHermitian(u *grid.CGrid, tol float64) bool {
+	for my := 0; my < u.Ny; my++ {
+		py := (u.Ny - my) % u.Ny
+		for mx := 0; mx < u.Nx; mx++ {
+			px := (u.Nx - mx) % u.Nx
+			a := u.At(mx, my)
+			b := u.At(px, py)
+			if math.Abs(real(a)-real(b)) > tol || math.Abs(imag(a)+imag(b)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

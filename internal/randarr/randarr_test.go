@@ -1,0 +1,129 @@
+package randarr
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/fft"
+	"roughsurface/internal/rng"
+	"roughsurface/internal/stats"
+)
+
+func TestHermitianSymmetry(t *testing.T) {
+	for _, size := range [][2]int{{8, 8}, {16, 8}, {7, 9}, {1, 4}, {64, 64}} {
+		u := Hermitian(size[0], size[1], rng.NewGaussian(1))
+		if !IsHermitian(u, 0) {
+			t.Errorf("%dx%d array is not Hermitian", size[0], size[1])
+		}
+	}
+}
+
+func TestIsHermitianDetectsViolation(t *testing.T) {
+	u := Hermitian(8, 8, rng.NewGaussian(2))
+	u.Set(1, 0, u.At(1, 0)+complex(0, 0.5))
+	if IsHermitian(u, 1e-9) {
+		t.Error("IsHermitian missed a broken pair")
+	}
+}
+
+func TestSelfConjugateBinsAreReal(t *testing.T) {
+	u := Hermitian(8, 6, rng.NewGaussian(3))
+	for _, bin := range [][2]int{{0, 0}, {4, 0}, {0, 3}, {4, 3}} {
+		if imag(u.At(bin[0], bin[1])) != 0 {
+			t.Errorf("self-conjugate bin %v has imaginary part", bin)
+		}
+	}
+}
+
+func TestBinVariances(t *testing.T) {
+	// Average |u[m]|² over many realizations at a few probe bins.
+	const trials = 4000
+	var genVar, selfVar float64
+	for s := 0; s < trials; s++ {
+		u := Hermitian(8, 8, rng.NewGaussian(uint64(s+10)))
+		g := u.At(1, 2) // generic bin
+		genVar += real(g)*real(g) + imag(g)*imag(g)
+		sc := u.At(4, 0) // self-conjugate (Nyquist, DC)
+		selfVar += real(sc) * real(sc)
+	}
+	genVar /= trials
+	selfVar /= trials
+	if math.Abs(genVar-1) > 0.08 {
+		t.Errorf("generic bin E|u|² = %g, want 1", genVar)
+	}
+	if math.Abs(selfVar-1) > 0.08 {
+		t.Errorf("self-conjugate bin variance = %g, want 1", selfVar)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Hermitian(16, 16, rng.NewGaussian(7))
+	b := Hermitian(16, 16, rng.NewGaussian(7))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed produced different arrays")
+		}
+	}
+}
+
+// TestHermitianDFTIsWhiteGaussian is experiment E6: paper eqn (33) —
+// the unnormalized inverse transform of u, divided by √(NxNy), is a real
+// white N(0,1) field.
+func TestHermitianDFTIsWhiteGaussian(t *testing.T) {
+	const nx, ny = 64, 64
+	u := Hermitian(nx, ny, rng.NewGaussian(11))
+	data := append([]complex128(nil), u.Data...)
+	p := fft.MustPlan2D(nx, ny)
+	p.InverseUnscaled(data)
+
+	scale := 1 / math.Sqrt(float64(nx*ny))
+	field := make([]float64, nx*ny)
+	for i, v := range data {
+		if math.Abs(imag(v)) > 1e-9 {
+			t.Fatalf("transform not real at %d: imag %g", i, imag(v))
+		}
+		field[i] = real(v) * scale
+	}
+
+	sum := stats.Describe(field)
+	if math.Abs(sum.Mean) > 0.06 {
+		t.Errorf("field mean %g", sum.Mean)
+	}
+	if math.Abs(sum.Std-1) > 0.05 {
+		t.Errorf("field std %g, want 1", sum.Std)
+	}
+	if _, pval := stats.KSNormal(field, 0, 1); pval < 0.005 {
+		t.Errorf("KS rejects normality: p=%g", pval)
+	}
+
+	// Whiteness: neighbouring-sample correlation should vanish.
+	var c10, c01, v0 float64
+	for iy := 0; iy < ny-1; iy++ {
+		for ix := 0; ix < nx-1; ix++ {
+			x := field[iy*nx+ix]
+			v0 += x * x
+			c10 += x * field[iy*nx+ix+1]
+			c01 += x * field[(iy+1)*nx+ix]
+		}
+	}
+	if r := c10 / v0; math.Abs(r) > 0.05 {
+		t.Errorf("lag (1,0) correlation %g", r)
+	}
+	if r := c01 / v0; math.Abs(r) > 0.05 {
+		t.Errorf("lag (0,1) correlation %g", r)
+	}
+}
+
+func TestOddSizesTransformReal(t *testing.T) {
+	// Odd dimensions have only the DC self-conjugate bin; the transform
+	// must still be exactly real.
+	const nx, ny = 15, 9
+	u := Hermitian(nx, ny, rng.NewGaussian(13))
+	data := append([]complex128(nil), u.Data...)
+	fft.MustPlan2D(nx, ny).InverseUnscaled(data)
+	for i, v := range data {
+		if math.Abs(imag(v)) > 1e-9 {
+			t.Fatalf("odd-size transform not real at %d: %g", i, imag(v))
+		}
+	}
+}

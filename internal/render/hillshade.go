@@ -1,0 +1,104 @@
+package render
+
+import (
+	"io"
+	"math"
+
+	"roughsurface/internal/grid"
+)
+
+// Hillshade writes g as a PPM with terrain colors modulated by
+// Lambertian hillshading — the standard cartographic rendering that
+// makes roughness texture visible even where the height range is
+// dominated by one region (exactly the situation in the paper's
+// inhomogeneous figures). The light comes from azimuth az and elevation
+// el (radians); zScale exaggerates relief before shading (1 = none).
+func Hillshade(w io.Writer, g *grid.Grid, az, el, zScale float64) error {
+	lx := math.Cos(el) * math.Cos(az)
+	ly := math.Cos(el) * math.Sin(az)
+	lz := math.Sin(el)
+
+	min, max := g.MinMax()
+	limit := math.Max(math.Abs(min), math.Abs(max))
+	if limit == 0 {
+		limit = 1
+	}
+	if _, err := io.WriteString(w, ppmHeader(g.Nx, g.Ny)); err != nil {
+		return err
+	}
+	row := make([]byte, 3*g.Nx)
+	for iy := g.Ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.Nx; ix++ {
+			// Central-difference normal (clamped at edges).
+			x0, x1 := maxInt(ix-1, 0), minInt(ix+1, g.Nx-1)
+			y0, y1 := maxInt(iy-1, 0), minInt(iy+1, g.Ny-1)
+			dzdx := zScale * (g.At(x1, iy) - g.At(x0, iy)) / (float64(x1-x0) * g.Dx)
+			dzdy := zScale * (g.At(ix, y1) - g.At(ix, y0)) / (float64(y1-y0) * g.Dy)
+			nx, ny, nz := -dzdx, -dzdy, 1.0
+			norm := math.Sqrt(nx*nx + ny*ny + nz*nz)
+			shade := (nx*lx + ny*ly + nz*lz) / norm
+			if shade < 0 {
+				shade = 0
+			}
+			// Ambient floor keeps shadowed slopes legible.
+			shade = 0.25 + 0.75*shade
+
+			r, gg, b := terrainColor(g.At(ix, iy) / limit)
+			row[3*ix] = scaleByte(r, shade)
+			row[3*ix+1] = scaleByte(gg, shade)
+			row[3*ix+2] = scaleByte(b, shade)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveHillshade writes a hillshaded PPM file with the conventional
+// NW light at 45° elevation.
+func SaveHillshade(path string, g *grid.Grid) error {
+	return saveWith(path, g, func(w io.Writer, g *grid.Grid) error {
+		return Hillshade(w, g, 3*math.Pi/4, math.Pi/4, 1)
+	})
+}
+
+func ppmHeader(nx, ny int) string {
+	return "P6\n" + itoa(nx) + " " + itoa(ny) + "\n255\n"
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func scaleByte(v uint8, s float64) byte {
+	x := float64(v) * s
+	if x > 255 {
+		x = 255
+	}
+	return byte(x + 0.5)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

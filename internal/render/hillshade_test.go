@@ -1,0 +1,98 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"roughsurface/internal/grid"
+)
+
+func TestHillshadeFlatIsUniform(t *testing.T) {
+	g := grid.New(8, 8)
+	g.Fill(2)
+	var buf bytes.Buffer
+	if err := Hillshade(&buf, g, 3*math.Pi/4, math.Pi/4, 1); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	hdr := len(ppmHeader(8, 8))
+	first := data[hdr : hdr+3]
+	for i := hdr; i < len(data); i += 3 {
+		if data[i] != first[0] || data[i+1] != first[1] || data[i+2] != first[2] {
+			t.Fatal("flat surface shaded non-uniformly")
+		}
+	}
+}
+
+func TestHillshadeSlopeContrast(t *testing.T) {
+	// A ridge: west face looks toward the NW light (bright), east face
+	// away (dark). Compare the same color channel across the ridge.
+	g := grid.New(32, 8)
+	for iy := 0; iy < 8; iy++ {
+		for ix := 0; ix < 32; ix++ {
+			h := float64(ix)
+			if ix >= 16 {
+				h = float64(31 - ix)
+			}
+			g.Set(ix, iy, h) // rises to the middle: west face slopes up eastward
+		}
+	}
+	var buf bytes.Buffer
+	// Light from the east (azimuth 0): the west-rising face is lit.
+	if err := Hillshade(&buf, g, 0, math.Pi/4, 1); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[len(ppmHeader(32, 8)):]
+	row := 4 // any interior image row
+	lum := func(ix int) int {
+		o := (row*32 + ix) * 3
+		return int(data[o]) + int(data[o+1]) + int(data[o+2])
+	}
+	// ix=8 is on the rising (east-facing... facing the +x light? The
+	// face for ix<16 has dzdx>0, normal tilts toward -x, away from an
+	// azimuth-0 light; the descending face tilts toward +x, toward it.
+	if !(lum(24) > lum(8)) {
+		t.Errorf("light-facing slope not brighter: %d vs %d", lum(24), lum(8))
+	}
+}
+
+func TestHillshadeHeaderAndSize(t *testing.T) {
+	g := grid.New(5, 4)
+	var buf bytes.Buffer
+	if err := Hillshade(&buf, g, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := len(ppmHeader(5, 4)) + 3*5*4
+	if buf.Len() != want {
+		t.Errorf("size %d want %d", buf.Len(), want)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("P6\n5 4\n255\n")) {
+		t.Error("bad header")
+	}
+}
+
+func TestSaveHillshade(t *testing.T) {
+	g := grid.New(6, 6)
+	g.Set(3, 3, 2)
+	path := filepath.Join(t.TempDir(), "h.ppm")
+	if err := SaveHillshade(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Error("hillshade file missing or empty")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	for _, c := range []struct {
+		v int
+		s string
+	}{{0, "0"}, {7, "7"}, {255, "255"}, {1024, "1024"}} {
+		if got := itoa(c.v); got != c.s {
+			t.Errorf("itoa(%d) = %q", c.v, got)
+		}
+	}
+}

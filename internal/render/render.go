@@ -1,0 +1,145 @@
+// Package render turns height grids into inspectable artifacts: ASCII
+// heat maps for terminals and logs, and binary PGM/PPM images matching
+// the paper's figure plots (heightmap renderings of the same data the
+// figures show as 3D surfaces).
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"roughsurface/internal/grid"
+)
+
+// asciiRampChars orders glyphs by visual density.
+const asciiRampChars = " .:-=+*#%@"
+
+// ASCII writes an ASCII heat map of g, downsampled to at most maxW
+// columns (rows follow at half the column resolution to compensate for
+// character aspect). Scaling is min..max of the grid.
+func ASCII(w io.Writer, g *grid.Grid, maxW int) error {
+	if maxW < 2 {
+		maxW = 2
+	}
+	stepX := (g.Nx + maxW - 1) / maxW
+	if stepX < 1 {
+		stepX = 1
+	}
+	stepY := stepX * 2
+	min, max := g.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %dx%d surface, height range [%.4g, %.4g]\n", g.Nx, g.Ny, min, max)
+	ramp := []byte(asciiRampChars)
+	for iy := 0; iy < g.Ny; iy += stepY {
+		for ix := 0; ix < g.Nx; ix += stepX {
+			v := (g.At(ix, iy) - min) / span
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			if err := bw.WriteByte(ramp[idx]); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// PGM writes g as a binary 8-bit PGM (grayscale) image, heights scaled
+// min..max to 0..255.
+func PGM(w io.Writer, g *grid.Grid) error {
+	min, max := g.MinMax()
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.Nx, g.Ny)
+	for iy := g.Ny - 1; iy >= 0; iy-- { // image rows top-down, y up
+		for ix := 0; ix < g.Nx; ix++ {
+			v := (g.At(ix, iy) - min) / span
+			if err := bw.WriteByte(uint8(v*255 + 0.5)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// PPM writes g as a binary PPM with a blue–white–brown terrain colormap
+// diverging around zero height, which makes ponds and dunes legible in
+// the inhomogeneous figures.
+func PPM(w io.Writer, g *grid.Grid) error {
+	min, max := g.MinMax()
+	limit := math.Max(math.Abs(min), math.Abs(max))
+	if limit == 0 {
+		limit = 1
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P6\n%d %d\n255\n", g.Nx, g.Ny)
+	for iy := g.Ny - 1; iy >= 0; iy-- {
+		for ix := 0; ix < g.Nx; ix++ {
+			r, gr, b := terrainColor(g.At(ix, iy) / limit)
+			if _, err := bw.Write([]byte{r, gr, b}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// terrainColor maps t ∈ [-1, 1] to a diverging blue→white→brown ramp.
+func terrainColor(t float64) (r, g, b uint8) {
+	if t < -1 {
+		t = -1
+	}
+	if t > 1 {
+		t = 1
+	}
+	if t < 0 {
+		// deep blue (0,0,128) → white
+		u := 1 + t
+		return lerp(0, 255, u), lerp(64, 255, u), lerp(160, 255, u)
+	}
+	// white → brown (139,90,43)
+	return lerp(255, 139, t), lerp(255, 90, t), lerp(255, 43, t)
+}
+
+func lerp(a, b float64, t float64) uint8 {
+	return uint8(a + (b-a)*t + 0.5)
+}
+
+// SavePGM writes a PGM file.
+func SavePGM(path string, g *grid.Grid) error {
+	return saveWith(path, g, PGM)
+}
+
+// SavePPM writes a PPM file.
+func SavePPM(path string, g *grid.Grid) error {
+	return saveWith(path, g, PPM)
+}
+
+func saveWith(path string, g *grid.Grid, f func(io.Writer, *grid.Grid) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f(file, g); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

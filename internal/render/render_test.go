@@ -1,0 +1,130 @@
+package render
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/grid"
+	"roughsurface/internal/rng"
+)
+
+func testGrid() *grid.Grid {
+	g := grid.New(32, 16)
+	rng.NewGaussian(1).Fill(g.Data)
+	return g
+}
+
+func TestASCIIShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ASCII(&buf, testGrid(), 16); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if !strings.HasPrefix(lines[0], "#") {
+		t.Error("missing header")
+	}
+	if len(lines) < 3 {
+		t.Errorf("too few rows: %d", len(lines))
+	}
+	if len(lines[1]) != 16 {
+		t.Errorf("row width %d, want 16", len(lines[1]))
+	}
+}
+
+func TestASCIIConstantGrid(t *testing.T) {
+	g := grid.New(8, 8)
+	g.Fill(3)
+	var buf bytes.Buffer
+	if err := ASCII(&buf, g, 8); err != nil {
+		t.Fatal(err) // must not divide by zero
+	}
+}
+
+func TestPGMHeaderAndSize(t *testing.T) {
+	g := testGrid()
+	var buf bytes.Buffer
+	if err := PGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("P5\n32 16\n255\n")) {
+		t.Errorf("bad PGM header: %q", data[:20])
+	}
+	want := len("P5\n32 16\n255\n") + 32*16
+	if len(data) != want {
+		t.Errorf("PGM size %d, want %d", len(data), want)
+	}
+}
+
+func TestPGMScalesFullRange(t *testing.T) {
+	g := grid.New(2, 1)
+	g.Data[0] = -5
+	g.Data[1] = 5
+	var buf bytes.Buffer
+	if err := PGM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	px := buf.Bytes()[len(buf.Bytes())-2:]
+	if px[0] != 0 || px[1] != 255 {
+		t.Errorf("pixels %v, want [0 255]", px)
+	}
+}
+
+func TestPPMHeaderAndSize(t *testing.T) {
+	g := testGrid()
+	var buf bytes.Buffer
+	if err := PPM(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if !bytes.HasPrefix(data, []byte("P6\n32 16\n255\n")) {
+		t.Errorf("bad PPM header: %q", data[:20])
+	}
+	want := len("P6\n32 16\n255\n") + 3*32*16
+	if len(data) != want {
+		t.Errorf("PPM size %d, want %d", len(data), want)
+	}
+}
+
+func TestTerrainColorAnchors(t *testing.T) {
+	r, g, b := terrainColor(0)
+	if r != 255 || g != 255 || b != 255 {
+		t.Errorf("zero height should be white, got (%d,%d,%d)", r, g, b)
+	}
+	r, g, b = terrainColor(-1)
+	if b <= r {
+		t.Errorf("deep water should be blue, got (%d,%d,%d)", r, g, b)
+	}
+	r, g, b = terrainColor(1)
+	if r <= b {
+		t.Errorf("high ground should be brown, got (%d,%d,%d)", r, g, b)
+	}
+	// Out-of-range values clamp rather than wrap.
+	r1, g1, b1 := terrainColor(5)
+	r2, g2, b2 := terrainColor(1)
+	if r1 != r2 || g1 != g2 || b1 != b2 {
+		t.Error("clamping broken")
+	}
+}
+
+func TestSaveFiles(t *testing.T) {
+	dir := t.TempDir()
+	g := testGrid()
+	pgm := filepath.Join(dir, "a.pgm")
+	ppm := filepath.Join(dir, "a.ppm")
+	if err := SavePGM(pgm, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePPM(ppm, g); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(pgm); err != nil || fi.Size() == 0 {
+		t.Error("PGM file missing or empty")
+	}
+	if fi, err := os.Stat(ppm); err != nil || fi.Size() == 0 {
+		t.Error("PPM file missing or empty")
+	}
+}

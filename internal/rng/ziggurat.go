@@ -1,0 +1,105 @@
+package rng
+
+import "math"
+
+// Normal is the common interface of the library's N(0,1) samplers —
+// Gaussian (Box–Muller, the paper's eqn 18) and Ziggurat (Marsaglia &
+// Tsang, the fast rejection method). Generators accept either; the
+// bench suite ablates one against the other.
+type Normal interface {
+	Next() float64
+	Fill(dst []float64)
+}
+
+var (
+	_ Normal = (*Gaussian)(nil)
+	_ Normal = (*Ziggurat)(nil)
+)
+
+// Ziggurat draws standard normal variates with the Marsaglia–Tsang
+// ziggurat algorithm (128 layers): one table lookup and one multiply on
+// ~98.8% of draws, falling back to exact edge/tail sampling otherwise.
+// The output distribution is exactly N(0,1), like Box–Muller, at a
+// fraction of the per-variate cost.
+type Ziggurat struct {
+	Src *Source
+}
+
+// NewZiggurat returns a Ziggurat reading from a fresh Source with seed.
+func NewZiggurat(seed uint64) *Ziggurat {
+	return &Ziggurat{Src: NewSource(seed)}
+}
+
+// Layer tables, built once at init from the classic zignor recurrence.
+var (
+	zigK [128]uint32
+	zigW [128]float64
+	zigF [128]float64
+)
+
+const zigR = 3.442619855899 // start of the exponential tail
+
+func init() {
+	const m1 = 1 << 31
+	const vn = 9.91256303526217e-3
+	dn := zigR
+	tn := dn
+	q := vn / math.Exp(-0.5*dn*dn)
+	zigK[0] = uint32(dn / q * m1)
+	zigK[1] = 0
+	zigW[0] = q / m1
+	zigW[127] = dn / m1
+	zigF[0] = 1
+	zigF[127] = math.Exp(-0.5 * dn * dn)
+	for i := 126; i >= 1; i-- {
+		dn = math.Sqrt(-2 * math.Log(vn/dn+math.Exp(-0.5*dn*dn)))
+		zigK[i+1] = uint32(dn / tn * m1)
+		tn = dn
+		zigF[i] = math.Exp(-0.5 * dn * dn)
+		zigW[i] = dn / m1
+	}
+}
+
+// Next returns the next N(0,1) variate.
+func (z *Ziggurat) Next() float64 {
+	for {
+		j := int32(uint32(z.Src.Uint64()))
+		i := j & 127
+		x := float64(j) * zigW[i]
+		// Fast path: strictly inside layer i.
+		if uint32(abs32(j)) < zigK[i] {
+			return x
+		}
+		if i == 0 {
+			// Tail beyond zigR: exact exponential-rejection sampling.
+			for {
+				ex := -math.Log(z.Src.open01()) / zigR
+				ey := -math.Log(z.Src.open01())
+				if ey+ey >= ex*ex {
+					if j > 0 {
+						return zigR + ex
+					}
+					return -(zigR + ex)
+				}
+			}
+		}
+		// Edge of layer i: accept with the density ratio.
+		if zigF[i]+z.Src.Float64()*(zigF[i-1]-zigF[i]) < math.Exp(-0.5*x*x) {
+			return x
+		}
+	}
+}
+
+// Fill populates dst with independent N(0,1) variates.
+func (z *Ziggurat) Fill(dst []float64) {
+	for i := range dst {
+		dst[i] = z.Next()
+	}
+}
+
+func abs32(j int32) int32 {
+	if j < 0 {
+		return -j
+	}
+	return j
+}

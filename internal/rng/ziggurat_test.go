@@ -1,0 +1,135 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZigguratMoments(t *testing.T) {
+	z := NewZiggurat(21)
+	n := 400000
+	var sum, sum2, sum3, sum4 float64
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		sum += v
+		sum2 += v * v
+		sum3 += v * v * v
+		sum4 += v * v * v * v
+	}
+	fn := float64(n)
+	mean := sum / fn
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("mean %g", mean)
+	}
+	if v := sum2/fn - mean*mean; math.Abs(v-1) > 0.015 {
+		t.Errorf("variance %g", v)
+	}
+	if skew := sum3 / fn; math.Abs(skew) > 0.04 {
+		t.Errorf("skewness %g", skew)
+	}
+	if kurt := sum4 / fn; math.Abs(kurt-3) > 0.08 {
+		t.Errorf("4th moment %g", kurt)
+	}
+}
+
+func TestZigguratTailProbabilities(t *testing.T) {
+	z := NewZiggurat(22)
+	n := 500000
+	counts := map[float64]int{1: 0, 2: 0, 3: 0}
+	for i := 0; i < n; i++ {
+		v := math.Abs(z.Next())
+		for thr := range counts {
+			if v > thr {
+				counts[thr]++
+			}
+		}
+	}
+	// P(|Z|>1)=0.3173, P(|Z|>2)=0.0455, P(|Z|>3)=0.0027.
+	want := map[float64]float64{1: 0.3173, 2: 0.0455, 3: 0.0027}
+	for thr, c := range counts {
+		frac := float64(c) / float64(n)
+		if math.Abs(frac-want[thr])/want[thr] > 0.1 {
+			t.Errorf("P(|Z|>%g) = %g, want %g", thr, frac, want[thr])
+		}
+	}
+}
+
+func TestZigguratTailSamplesExist(t *testing.T) {
+	// The tail branch (|x| > 3.44) must be reachable and produce values
+	// beyond the ziggurat base.
+	z := NewZiggurat(23)
+	found := false
+	for i := 0; i < 2000000 && !found; i++ {
+		if math.Abs(z.Next()) > zigR {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no tail samples in 2M draws (expect ~1200)")
+	}
+}
+
+func TestZigguratDeterministic(t *testing.T) {
+	a := NewZiggurat(9)
+	b := NewZiggurat(9)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZigguratAgreesWithBoxMullerDistribution(t *testing.T) {
+	// Two-sample comparison via binned counts: both samplers should put
+	// statistically equal mass in each of 10 equiprobable normal bins.
+	edges := []float64{-1.2816, -0.8416, -0.5244, -0.2533, 0, 0.2533, 0.5244, 0.8416, 1.2816}
+	bin := func(v float64) int {
+		for i, e := range edges {
+			if v < e {
+				return i
+			}
+		}
+		return len(edges)
+	}
+	n := 200000
+	za := NewZiggurat(31)
+	gb := NewGaussian(32)
+	ca := make([]int, 10)
+	cb := make([]int, 10)
+	for i := 0; i < n; i++ {
+		ca[bin(za.Next())]++
+		cb[bin(gb.Next())]++
+	}
+	for i := range ca {
+		diff := math.Abs(float64(ca[i] - cb[i]))
+		// Each bin holds ~n/10 = 20000 ± ~134 (1σ); allow 6σ on the
+		// difference of two independent counts.
+		if diff > 6*math.Sqrt(2*float64(n)/10) {
+			t.Errorf("bin %d: ziggurat %d vs box-muller %d", i, ca[i], cb[i])
+		}
+	}
+}
+
+func TestNormalInterfaceFill(t *testing.T) {
+	for _, normal := range []Normal{NewGaussian(1), NewZiggurat(1)} {
+		buf := make([]float64, 1000)
+		normal.Fill(buf)
+		var nonzero int
+		for _, v := range buf {
+			if v != 0 {
+				nonzero++
+			}
+		}
+		if nonzero < 990 {
+			t.Errorf("Fill left %d zeros", 1000-nonzero)
+		}
+	}
+}
+
+func BenchmarkZigguratNext(b *testing.B) {
+	z := NewZiggurat(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = z.Next()
+	}
+}

@@ -1,0 +1,193 @@
+package scatter
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/rng"
+	"roughsurface/internal/spectrum"
+	"roughsurface/internal/stats"
+)
+
+func gaussSurface(h, cl float64, seed uint64, n int) *grid.Grid {
+	s := spectrum.MustGaussian(h, cl, cl)
+	k := convgen.MustDesign(s, 1, 1, 8, 1e-5)
+	return convgen.NewGenerator(k, seed).GenerateCentered(n, n)
+}
+
+// TestCoherentReflectionMatchesRayleigh: the measured coherent
+// reflection of a generated Gaussian surface must follow the analytic
+// Rayleigh damping over a range of roughness regimes — from nearly
+// specular (khcosθ ≪ 1) to fully incoherent.
+func TestCoherentReflectionMatchesRayleigh(t *testing.T) {
+	h := 0.5
+	surf := gaussSurface(h, 10, 3, 256)
+	for _, tc := range []struct {
+		k, theta float64
+	}{
+		{0.2, 0},           // mildly rough: damping ≈ 0.98
+		{1.0, 0},           // k·h = 0.5: damping ≈ 0.61
+		{2.0, 0},           // strong damping ≈ 0.14
+		{1.0, math.Pi / 4}, // oblique incidence
+		{1.0, math.Pi / 3},
+	} {
+		got := CoherentReflection(surf, tc.k, tc.theta)
+		want := RayleighDamping(tc.k, h, tc.theta)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("k=%g θ=%.2f: coherent %g want %g", tc.k, tc.theta, got, want)
+		}
+	}
+}
+
+func TestCoherentReflectionLimits(t *testing.T) {
+	// A flat surface reflects perfectly coherently at any roughness
+	// wavenumber.
+	flat := grid.New(32, 32)
+	if got := CoherentReflection(flat, 5, 0.3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("flat surface coherent reflection %g", got)
+	}
+	// A very rough surface destroys coherence.
+	rough := gaussSurface(5, 8, 4, 256)
+	if got := CoherentReflection(rough, 2, 0); got > 0.05 {
+		t.Errorf("very rough coherent reflection %g, want ~0", got)
+	}
+}
+
+func TestSlopeHistogramValidation(t *testing.T) {
+	g := gaussSurface(1, 8, 5, 64)
+	if _, err := NewSlopeHistogram(g, 1, 1); err == nil {
+		t.Error("1 bin accepted")
+	}
+	if _, err := NewSlopeHistogram(g, 16, 0); err == nil {
+		t.Error("zero maxSlope accepted")
+	}
+	tiny := grid.New(2, 2)
+	if _, err := NewSlopeHistogram(tiny, 16, 1); err == nil {
+		t.Error("2x2 surface accepted")
+	}
+}
+
+func TestSlopeHistogramNormalization(t *testing.T) {
+	g := gaussSurface(1, 8, 6, 256)
+	h, err := NewSlopeHistogram(g, 40, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binW := 2 * h.MaxSlope / float64(h.N)
+	var integral float64
+	for _, d := range h.Density {
+		integral += d * binW * binW
+	}
+	captured := 1 - float64(h.Dropped)/float64(h.Total)
+	if math.Abs(integral-captured) > 1e-9 {
+		t.Errorf("density integral %g vs captured fraction %g", integral, captured)
+	}
+	if captured < 0.98 {
+		t.Errorf("slope range clips %g of the distribution", 1-captured)
+	}
+}
+
+// TestSlopeHistogramMatchesGaussianPDF: the measured density at several
+// probe slopes tracks the analytic N(0, s²)² product with the
+// discrete-derivative slope variance.
+func TestSlopeHistogramMatchesGaussianPDF(t *testing.T) {
+	hDev, cl := 1.0, 8.0
+	surf := gaussSurface(hDev, cl, 7, 512)
+	sx2, sy2 := stats.SlopeVariance(surf)
+	s2 := (sx2 + sy2) / 2
+	hist, err := NewSlopeHistogram(surf, 48, 4*math.Sqrt(s2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdf := func(sx, sy float64) float64 {
+		return math.Exp(-(sx*sx+sy*sy)/(2*s2)) / (2 * math.Pi * s2)
+	}
+	sd := math.Sqrt(s2)
+	for _, probe := range [][2]float64{{0, 0}, {sd, 0}, {0, -sd}, {1.5 * sd, 1.5 * sd}} {
+		got := hist.At(probe[0], probe[1])
+		want := pdf(probe[0], probe[1])
+		if math.Abs(got-want)/pdf(0, 0) > 0.1 {
+			t.Errorf("slope pdf at %v: %g want %g", probe, got, want)
+		}
+	}
+}
+
+// TestGOBackscatterMatchesClosedForm: the histogram-driven σ⁰ curve of
+// a generated Gaussian surface must track the closed form with the
+// measured slope variance — who wins at nadir, how fast it falls off.
+func TestGOBackscatterMatchesClosedForm(t *testing.T) {
+	surf := gaussSurface(1.0, 8, 9, 512)
+	sx2, sy2 := stats.SlopeVariance(surf)
+	s2 := (sx2 + sy2) / 2
+	hist, err := NewSlopeHistogram(surf, 48, 4*math.Sqrt(s2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refl = 0.8
+	for _, deg := range []float64{0, 5, 10, 15, 20} {
+		th := deg * math.Pi / 180
+		got := GOBackscatter(hist, th, refl)
+		want := GOBackscatterGaussian(th, s2, refl)
+		if want <= 0 {
+			t.Fatalf("bad closed form at %g°", deg)
+		}
+		if math.Abs(got-want)/GOBackscatterGaussian(0, s2, refl) > 0.12 {
+			t.Errorf("σ⁰(%g°) = %g want %g", deg, got, want)
+		}
+	}
+}
+
+// TestBackscatterShape: smooth surfaces concentrate σ⁰ at nadir and
+// fall off fast; rough surfaces are dimmer at nadir but brighter off-
+// nadir — the crossover every radar text shows.
+func TestBackscatterShape(t *testing.T) {
+	const refl = 1.0
+	curve := func(h float64, seed uint64) []float64 {
+		surf := gaussSurface(h, 8, seed, 512)
+		sx2, sy2 := stats.SlopeVariance(surf)
+		s2 := (sx2 + sy2) / 2
+		hist, err := NewSlopeHistogram(surf, 48, 6*math.Sqrt(s2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		thetas := []float64{0, 10 * math.Pi / 180, 25 * math.Pi / 180}
+		return BackscatterCurve(hist, thetas, refl)
+	}
+	smooth := curve(0.4, 11)
+	rough := curve(2.0, 11)
+	if !(smooth[0] > rough[0]) {
+		t.Errorf("nadir: smooth %g should outshine rough %g", smooth[0], rough[0])
+	}
+	if !(rough[2] > smooth[2]) {
+		t.Errorf("25° off-nadir: rough %g should outshine smooth %g", rough[2], smooth[2])
+	}
+	if !(smooth[0] > smooth[2]) {
+		t.Error("smooth curve should fall off-nadir")
+	}
+}
+
+func TestToDB(t *testing.T) {
+	db := ToDB([]float64{1, 10, 0.1, 0})
+	if db[0] != 0 || math.Abs(db[1]-10) > 1e-12 || math.Abs(db[2]+10) > 1e-12 {
+		t.Errorf("dB conversion wrong: %v", db)
+	}
+	if !math.IsInf(db[3], -1) {
+		t.Error("zero should map to -inf dB")
+	}
+}
+
+func TestCoherentReflectionWhiteNoiseCharacteristicFunction(t *testing.T) {
+	// For i.i.d. N(0,1) heights the coherent sum is the characteristic
+	// function of a standard normal at 2k·cosθ regardless of spatial
+	// structure — a direct sanity anchor independent of the generators.
+	g := grid.New(512, 512)
+	rng.NewGaussian(13).Fill(g.Data)
+	k := 0.4
+	got := CoherentReflection(g, k, 0)
+	want := math.Exp(-2 * k * k)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("characteristic function %g want %g", got, want)
+	}
+}

@@ -1,0 +1,54 @@
+package spectrum
+
+import "math"
+
+// BesselK evaluates the modified Bessel function of the second kind
+// K_ν(x) for real order ν ≥ 0 and x > 0 using the integral
+// representation
+//
+//	K_ν(x) = ∫_0^∞ e^{−x·cosh t}·cosh(νt) dt,
+//
+// integrated by the composite Simpson rule. The integrand is smooth,
+// even about t = 0 (so the t = 0 endpoint has zero derivative), and
+// decays super-exponentially past its interior maximum, so a fixed
+// 2000-panel rule delivers better than 1e-9 relative accuracy over the
+// range the power-law autocorrelation needs. For x > 700, K_ν underflows
+// double precision and 0 is returned.
+func BesselK(nu, x float64) float64 {
+	if x <= 0 {
+		return math.Inf(1)
+	}
+	if x > 700 {
+		return 0
+	}
+	// Cutoff T solving x·(cosh T − 1) − ν·T = margin, so the integrand at
+	// T is ~e^{-margin} relative to its t=0 value e^{-x}. Fixed-point
+	// iteration converges in a handful of steps.
+	const margin = 46
+	T := 1.0
+	for i := 0; i < 64; i++ {
+		next := math.Acosh((margin + nu*T + x) / x)
+		if math.IsNaN(next) || next <= 0 {
+			next = 1
+		}
+		if math.Abs(next-T) < 1e-9 {
+			T = next
+			break
+		}
+		T = next
+	}
+	const panels = 2000
+	h := T / panels
+	f := func(t float64) float64 {
+		return math.Exp(-x*math.Cosh(t)) * math.Cosh(nu*t)
+	}
+	sum := f(0) + f(T)
+	for i := 1; i < panels; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4
+		}
+		sum += w * f(float64(i)*h)
+	}
+	return sum * h / 3
+}

@@ -1,0 +1,187 @@
+// Package spectrum implements the statistical models of §2.1 of the
+// paper: spectral density functions W(K) of two-dimensional random rough
+// surfaces and their analytic autocorrelations ρ(r), for the three
+// families the paper evaluates — Gaussian (eqns 5–6), N-th order
+// Power-Law (eqns 7–8) and Exponential (eqns 9–10) — plus the discrete
+// weighting arrays of §2.2 (eqns 15–17) that the generators consume.
+//
+// All densities are normalized so that ∫∫ W(K) dK = h² (paper eqn 1),
+// equivalently ρ(0, 0) = h², where h is the height standard deviation.
+// Anisotropy enters through independent correlation lengths clx and cly.
+package spectrum
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spectrum describes one homogeneous surface model.
+type Spectrum interface {
+	// Density evaluates the spectral density W(kx, ky).
+	Density(kx, ky float64) float64
+	// Autocorrelation evaluates ρ(x, y); ρ(0,0) = h².
+	Autocorrelation(x, y float64) float64
+	// SigmaH reports the height standard deviation h.
+	SigmaH() float64
+	// CorrelationLengths reports (clx, cly).
+	CorrelationLengths() (clx, cly float64)
+	// Name identifies the family for reports ("gaussian", "powerlaw", …).
+	Name() string
+}
+
+func validateCommon(h, clx, cly float64) error {
+	if !(h > 0) || math.IsInf(h, 0) {
+		return fmt.Errorf("spectrum: height deviation h must be positive and finite, got %g", h)
+	}
+	if !(clx > 0) || !(cly > 0) || math.IsInf(clx, 0) || math.IsInf(cly, 0) {
+		return fmt.Errorf("spectrum: correlation lengths must be positive and finite, got (%g, %g)", clx, cly)
+	}
+	return nil
+}
+
+// Gaussian is the Gaussian spectrum of paper eqns (5)–(6):
+//
+//	W(K) = (clx·cly·h²/4π)·exp(−(Kx·clx/2)² − (Ky·cly/2)²)
+//	ρ(r) = h²·exp(−(x/clx)² − (y/cly)²)
+type Gaussian struct {
+	h, clx, cly float64
+}
+
+// NewGaussian validates the parameters and returns the spectrum.
+func NewGaussian(h, clx, cly float64) (*Gaussian, error) {
+	if err := validateCommon(h, clx, cly); err != nil {
+		return nil, err
+	}
+	return &Gaussian{h: h, clx: clx, cly: cly}, nil
+}
+
+// MustGaussian is NewGaussian that panics on invalid parameters.
+func MustGaussian(h, clx, cly float64) *Gaussian {
+	s, err := NewGaussian(h, clx, cly)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Gaussian) Density(kx, ky float64) float64 {
+	ux := kx * s.clx / 2
+	uy := ky * s.cly / 2
+	return s.clx * s.cly * s.h * s.h / (4 * math.Pi) * math.Exp(-ux*ux-uy*uy)
+}
+
+func (s *Gaussian) Autocorrelation(x, y float64) float64 {
+	ax := x / s.clx
+	ay := y / s.cly
+	return s.h * s.h * math.Exp(-ax*ax-ay*ay)
+}
+
+func (s *Gaussian) SigmaH() float64                        { return s.h }
+func (s *Gaussian) CorrelationLengths() (float64, float64) { return s.clx, s.cly }
+func (s *Gaussian) Name() string                           { return "gaussian" }
+
+// PowerLaw is the N-th order Power-Law spectrum of paper eqns (7)–(8):
+//
+//	W(K) = (clx·cly·h²·(N−1)/4π)·[1 + (Kx·clx/2)² + (Ky·cly/2)²]^(−N)
+//	ρ(r) = h²·(2^(2−N)/Γ(N−1))·s^(N−1)·K_(N−1)(s),
+//	       s = 2·sqrt((x/clx)² + (y/cly)²)
+//
+// where K_ν is the modified Bessel function of the second kind (the
+// Matérn-family autocorrelation that is the exact Fourier partner of the
+// density above; ρ(0) = h² by the small-argument limit of s^ν·K_ν).
+// N > 1 is required for integrability, as in the paper.
+type PowerLaw struct {
+	h, clx, cly float64
+	n           float64
+	norm        float64 // 2^(2−N)/Γ(N−1)
+}
+
+// NewPowerLaw validates the parameters (N > 1) and returns the spectrum.
+func NewPowerLaw(h, clx, cly, n float64) (*PowerLaw, error) {
+	if err := validateCommon(h, clx, cly); err != nil {
+		return nil, err
+	}
+	if !(n > 1) || math.IsInf(n, 0) {
+		return nil, fmt.Errorf("spectrum: power-law order N must exceed 1, got %g", n)
+	}
+	return &PowerLaw{
+		h: h, clx: clx, cly: cly, n: n,
+		norm: math.Pow(2, 2-n) / math.Gamma(n-1),
+	}, nil
+}
+
+// MustPowerLaw is NewPowerLaw that panics on invalid parameters.
+func MustPowerLaw(h, clx, cly, n float64) *PowerLaw {
+	s, err := NewPowerLaw(h, clx, cly, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *PowerLaw) Density(kx, ky float64) float64 {
+	ux := kx * s.clx / 2
+	uy := ky * s.cly / 2
+	base := 1 + ux*ux + uy*uy
+	return s.clx * s.cly * s.h * s.h * (s.n - 1) / (4 * math.Pi) * math.Pow(base, -s.n)
+}
+
+func (s *PowerLaw) Autocorrelation(x, y float64) float64 {
+	ax := x / s.clx
+	ay := y / s.cly
+	arg := 2 * math.Sqrt(ax*ax+ay*ay)
+	if arg < 1e-8 {
+		return s.h * s.h
+	}
+	nu := s.n - 1
+	return s.h * s.h * s.norm * math.Pow(arg, nu) * BesselK(nu, arg)
+}
+
+func (s *PowerLaw) SigmaH() float64                        { return s.h }
+func (s *PowerLaw) CorrelationLengths() (float64, float64) { return s.clx, s.cly }
+func (s *PowerLaw) Name() string                           { return fmt.Sprintf("powerlaw%g", s.n) }
+
+// Order reports the power-law exponent N.
+func (s *PowerLaw) Order() float64 { return s.n }
+
+// Exponential is the Exponential spectrum of paper eqns (9)–(10):
+//
+//	W(K) = (clx·cly·h²/2π)·[1 + (Kx·clx)² + (Ky·cly)²]^(−3/2)
+//	ρ(r) = h²·exp(−sqrt((x/clx)² + (y/cly)²))
+type Exponential struct {
+	h, clx, cly float64
+}
+
+// NewExponential validates the parameters and returns the spectrum.
+func NewExponential(h, clx, cly float64) (*Exponential, error) {
+	if err := validateCommon(h, clx, cly); err != nil {
+		return nil, err
+	}
+	return &Exponential{h: h, clx: clx, cly: cly}, nil
+}
+
+// MustExponential is NewExponential that panics on invalid parameters.
+func MustExponential(h, clx, cly float64) *Exponential {
+	s, err := NewExponential(h, clx, cly)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *Exponential) Density(kx, ky float64) float64 {
+	ux := kx * s.clx
+	uy := ky * s.cly
+	base := 1 + ux*ux + uy*uy
+	return s.clx * s.cly * s.h * s.h / (2 * math.Pi) * math.Pow(base, -1.5)
+}
+
+func (s *Exponential) Autocorrelation(x, y float64) float64 {
+	ax := x / s.clx
+	ay := y / s.cly
+	return s.h * s.h * math.Exp(-math.Sqrt(ax*ax+ay*ay))
+}
+
+func (s *Exponential) SigmaH() float64                        { return s.h }
+func (s *Exponential) CorrelationLengths() (float64, float64) { return s.clx, s.cly }
+func (s *Exponential) Name() string                           { return "exponential" }

@@ -1,0 +1,81 @@
+package stats
+
+import "math"
+
+// Accumulator computes running mean/variance/extrema with Welford's
+// algorithm — numerically stable single-pass moments for streaming
+// workloads (strip-by-strip surface generation) where the data never
+// exists in memory at once. The zero value is ready to use.
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (a *Accumulator) Add(v float64) {
+	if a.n == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.n++
+	d := v - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (v - a.mean)
+}
+
+// AddSlice folds a batch of samples.
+func (a *Accumulator) AddSlice(vs []float64) {
+	for _, v := range vs {
+		a.Add(v)
+	}
+}
+
+// Merge folds another accumulator into a (Chan et al. parallel
+// combination), so per-goroutine accumulators can be reduced.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.mean += delta * float64(b.n) / float64(n)
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// N reports the number of samples folded in.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean reports the running mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the running population (1/N) variance.
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.m2 / float64(a.n)
+}
+
+// Std reports the running standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Variance()) }
+
+// MinMax reports the running extrema (0, 0 when empty).
+func (a *Accumulator) MinMax() (min, max float64) { return a.min, a.max }

@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"roughsurface/internal/rng"
+)
+
+func TestAccumulatorMatchesDescribe(t *testing.T) {
+	data := make([]float64, 10000)
+	rng.NewGaussian(3).Fill(data)
+	for i := range data {
+		data[i] = data[i]*2.5 + 7 // non-trivial mean and scale
+	}
+	var a Accumulator
+	a.AddSlice(data)
+	d := Describe(data)
+	if a.N() != int64(d.N) {
+		t.Errorf("N %d vs %d", a.N(), d.N)
+	}
+	if math.Abs(a.Mean()-d.Mean) > 1e-9 {
+		t.Errorf("mean %g vs %g", a.Mean(), d.Mean)
+	}
+	if math.Abs(a.Variance()-d.Variance) > 1e-9 {
+		t.Errorf("variance %g vs %g", a.Variance(), d.Variance)
+	}
+	min, max := a.MinMax()
+	if min != d.Min || max != d.Max {
+		t.Errorf("extrema (%g,%g) vs (%g,%g)", min, max, d.Min, d.Max)
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Variance() != 0 || a.Std() != 0 {
+		t.Error("empty accumulator not zeroed")
+	}
+	a.Add(5)
+	if a.Mean() != 5 || a.Variance() != 0 {
+		t.Errorf("single sample: mean %g var %g", a.Mean(), a.Variance())
+	}
+}
+
+func TestAccumulatorMergeEqualsSequential(t *testing.T) {
+	data := make([]float64, 5000)
+	rng.NewGaussian(5).Fill(data)
+	var whole Accumulator
+	whole.AddSlice(data)
+
+	var left, right Accumulator
+	left.AddSlice(data[:1234])
+	right.AddSlice(data[1234:])
+	left.Merge(&right)
+
+	if left.N() != whole.N() {
+		t.Error("merged N differs")
+	}
+	if math.Abs(left.Mean()-whole.Mean()) > 1e-12 {
+		t.Errorf("merged mean %g vs %g", left.Mean(), whole.Mean())
+	}
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance %g vs %g", left.Variance(), whole.Variance())
+	}
+	lmin, lmax := left.MinMax()
+	wmin, wmax := whole.MinMax()
+	if lmin != wmin || lmax != wmax {
+		t.Error("merged extrema differ")
+	}
+}
+
+func TestAccumulatorMergeEdges(t *testing.T) {
+	var empty, full Accumulator
+	full.AddSlice([]float64{1, 2, 3})
+	snapshot := full
+	full.Merge(&empty) // no-op
+	if full != snapshot {
+		t.Error("merging empty changed state")
+	}
+	empty.Merge(&full)
+	if empty.N() != 3 || empty.Mean() != 2 {
+		t.Errorf("merge into empty: n=%d mean=%g", empty.N(), empty.Mean())
+	}
+}
+
+func TestQuickAccumulatorSplitInvariance(t *testing.T) {
+	f := func(seed int64, rawSplit uint16) bool {
+		data := make([]float64, 400)
+		g := rng.NewGaussian(uint64(seed))
+		g.Fill(data)
+		split := int(rawSplit)%399 + 1
+		var a, b, whole Accumulator
+		a.AddSlice(data[:split])
+		b.AddSlice(data[split:])
+		a.Merge(&b)
+		whole.AddSlice(data)
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-10 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

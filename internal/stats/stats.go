@@ -1,0 +1,217 @@
+// Package stats provides the estimators used to validate generated
+// surfaces against their prescribed statistics: descriptive moments,
+// FFT-based autocovariance, spectral (periodogram) estimates of the
+// paper's weighting array, normality tests, and error metrics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // population (1/N) variance
+	Std      float64
+	Skewness float64
+	Kurtosis float64 // normalized 4th moment; 3 for a Gaussian
+	Min, Max float64
+}
+
+// Describe computes a two-pass summary of data. It panics on empty input.
+func Describe(data []float64) Summary {
+	if len(data) == 0 {
+		panic("stats: Describe on empty data")
+	}
+	var s Summary
+	s.N = len(data)
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, v := range data {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	var m2, m3, m4 float64
+	for _, v := range data {
+		d := v - s.Mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	fn := float64(s.N)
+	m2 /= fn
+	m3 /= fn
+	m4 /= fn
+	s.Variance = m2
+	s.Std = math.Sqrt(m2)
+	if m2 > 0 {
+		s.Skewness = m3 / math.Pow(m2, 1.5)
+		s.Kurtosis = m4 / (m2 * m2)
+	}
+	return s
+}
+
+// String renders a one-line report.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g skew=%.3g kurt=%.3g min=%.4g max=%.4g",
+		s.N, s.Mean, s.Std, s.Skewness, s.Kurtosis, s.Min, s.Max)
+}
+
+// RMSE returns the root-mean-square difference between equal-length
+// slices.
+func RMSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: RMSE length mismatch")
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// MaxAbs returns max |a[i]-b[i]|.
+func MaxAbs(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbs length mismatch")
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// KSNormal runs a one-sample Kolmogorov–Smirnov test of data against
+// N(mu, sigma). It returns the statistic D and the asymptotic p-value.
+func KSNormal(data []float64, mu, sigma float64) (d, p float64) {
+	n := len(data)
+	if n == 0 {
+		panic("stats: KSNormal on empty data")
+	}
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	fn := float64(n)
+	for i, x := range sorted {
+		cdf := 0.5 * math.Erfc(-(x-mu)/(sigma*math.Sqrt2))
+		upper := float64(i+1)/fn - cdf
+		lower := cdf - float64(i)/fn
+		if upper > d {
+			d = upper
+		}
+		if lower > d {
+			d = lower
+		}
+	}
+	return d, ksPValue(d, n)
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov distribution
+// Q(λ) = 2·Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²} with the usual finite-n
+// correction λ = (√n + 0.12 + 0.11/√n)·D.
+func ksPValue(d float64, n int) float64 {
+	sn := math.Sqrt(float64(n))
+	lambda := (sn + 0.12 + 0.11/sn) * d
+	if lambda < 1e-6 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// ChiSquareNormal bins data into nbins equiprobable cells of N(mu, sigma)
+// and returns the χ² statistic and its degrees of freedom (nbins−1).
+// Large statistics relative to dof indicate non-normality.
+func ChiSquareNormal(data []float64, mu, sigma float64, nbins int) (chi2 float64, dof int) {
+	if nbins < 2 {
+		panic("stats: ChiSquareNormal needs at least 2 bins")
+	}
+	if len(data) == 0 {
+		panic("stats: ChiSquareNormal on empty data")
+	}
+	// Equiprobable bin edges via the normal quantile function.
+	edges := make([]float64, nbins-1)
+	for i := range edges {
+		p := float64(i+1) / float64(nbins)
+		edges[i] = mu + sigma*math.Sqrt2*erfinv(2*p-1)
+	}
+	counts := make([]int, nbins)
+	for _, x := range data {
+		i := sort.SearchFloat64s(edges, x)
+		counts[i]++
+	}
+	expected := float64(len(data)) / float64(nbins)
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, nbins - 1
+}
+
+// erfinv approximates the inverse error function (Giles 2012 single
+// precision rational approximation refined with one Newton step), enough
+// for quantile-based binning.
+func erfinv(x float64) float64 {
+	if x <= -1 || x >= 1 {
+		panic("stats: erfinv domain")
+	}
+	w := -math.Log((1 - x) * (1 + x))
+	var p float64
+	if w < 5 {
+		w -= 2.5
+		p = 2.81022636e-08
+		p = 3.43273939e-07 + p*w
+		p = -3.5233877e-06 + p*w
+		p = -4.39150654e-06 + p*w
+		p = 0.00021858087 + p*w
+		p = -0.00125372503 + p*w
+		p = -0.00417768164 + p*w
+		p = 0.246640727 + p*w
+		p = 1.50140941 + p*w
+	} else {
+		w = math.Sqrt(w) - 3
+		p = -0.000200214257
+		p = 0.000100950558 + p*w
+		p = 0.00134934322 + p*w
+		p = -0.00367342844 + p*w
+		p = 0.00573950773 + p*w
+		p = -0.0076224613 + p*w
+		p = 0.00943887047 + p*w
+		p = 1.00167406 + p*w
+		p = 2.83297682 + p*w
+	}
+	y := p * x
+	// One Newton refinement: f(y) = erf(y) − x.
+	e := math.Erf(y) - x
+	y -= e * math.Sqrt(math.Pi) / 2 * math.Exp(y*y)
+	return y
+}

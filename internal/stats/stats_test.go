@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/grid"
+	"roughsurface/internal/rng"
+)
+
+func TestDescribeKnownValues(t *testing.T) {
+	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean %g", s.Mean)
+	}
+	if s.Variance != 4 {
+		t.Errorf("variance %g", s.Variance)
+	}
+	if s.Std != 2 {
+		t.Errorf("std %g", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max %g/%g", s.Min, s.Max)
+	}
+}
+
+func TestDescribeGaussianSample(t *testing.T) {
+	g := rng.NewGaussian(1)
+	data := make([]float64, 100000)
+	g.Fill(data)
+	s := Describe(data)
+	if math.Abs(s.Mean) > 0.02 {
+		t.Errorf("mean %g", s.Mean)
+	}
+	if math.Abs(s.Std-1) > 0.02 {
+		t.Errorf("std %g", s.Std)
+	}
+	if math.Abs(s.Skewness) > 0.05 {
+		t.Errorf("skew %g", s.Skewness)
+	}
+	if math.Abs(s.Kurtosis-3) > 0.12 {
+		t.Errorf("kurtosis %g", s.Kurtosis)
+	}
+}
+
+func TestDescribePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	Describe(nil)
+}
+
+func TestRMSEAndMaxAbs(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 2, 7}
+	if got := MaxAbs(a, b); got != 4 {
+		t.Errorf("MaxAbs %g", got)
+	}
+	want := math.Sqrt(16.0 / 3)
+	if got := RMSE(a, b); math.Abs(got-want) > 1e-15 {
+		t.Errorf("RMSE %g want %g", got, want)
+	}
+}
+
+func TestKSNormalAcceptsGaussian(t *testing.T) {
+	g := rng.NewGaussian(2)
+	data := make([]float64, 20000)
+	g.Fill(data)
+	_, p := KSNormal(data, 0, 1)
+	if p < 0.01 {
+		t.Errorf("KS rejected a genuine Gaussian sample: p=%g", p)
+	}
+}
+
+func TestKSNormalRejectsUniform(t *testing.T) {
+	src := rng.NewSource(3)
+	data := make([]float64, 5000)
+	for i := range data {
+		data[i] = src.Float64()*2 - 1
+	}
+	_, p := KSNormal(data, 0, 1)
+	if p > 1e-6 {
+		t.Errorf("KS failed to reject uniform data: p=%g", p)
+	}
+}
+
+func TestKSNormalDetectsWrongScale(t *testing.T) {
+	g := rng.NewGaussian(4)
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = 2 * g.Next() // σ=2, tested against σ=1
+	}
+	_, p := KSNormal(data, 0, 1)
+	if p > 1e-6 {
+		t.Errorf("KS failed to reject wrong σ: p=%g", p)
+	}
+}
+
+func TestChiSquareNormal(t *testing.T) {
+	g := rng.NewGaussian(5)
+	data := make([]float64, 50000)
+	g.Fill(data)
+	chi2, dof := ChiSquareNormal(data, 0, 1, 20)
+	// For a correct null, chi2 ≈ dof ± a few sqrt(2·dof).
+	if chi2 > float64(dof)+6*math.Sqrt(2*float64(dof)) {
+		t.Errorf("chi2 %g too large for dof %d", chi2, dof)
+	}
+	// Shifted data must fail loudly.
+	for i := range data {
+		data[i] += 0.5
+	}
+	chi2, _ = ChiSquareNormal(data, 0, 1, 20)
+	if chi2 < 500 {
+		t.Errorf("chi2 %g did not detect a 0.5σ shift", chi2)
+	}
+}
+
+func TestErfinvRoundTrip(t *testing.T) {
+	for _, x := range []float64{-0.95, -0.5, -0.1, 0, 0.1, 0.5, 0.9, 0.999} {
+		y := erfinv(x)
+		if math.Abs(math.Erf(y)-x) > 1e-9 {
+			t.Errorf("erf(erfinv(%g)) = %g", x, math.Erf(y))
+		}
+	}
+}
+
+func TestAutocovarianceWhiteNoise(t *testing.T) {
+	g := grid.New(128, 128)
+	rng.NewGaussian(6).Fill(g.Data)
+	cov := AutocovarianceFFT(g)
+	if v := cov.At(0, 0); math.Abs(v-1) > 0.05 {
+		t.Errorf("white-noise variance estimate %g", v)
+	}
+	// Off-zero lags should be near zero.
+	for _, lag := range [][2]int{{1, 0}, {0, 1}, {5, 5}, {20, 3}} {
+		if v := cov.At(lag[0], lag[1]); math.Abs(v) > 0.05 {
+			t.Errorf("lag %v covariance %g, want ~0", lag, v)
+		}
+	}
+}
+
+func TestAutocovarianceKnownSinusoid(t *testing.T) {
+	// f = A·cos(2πk x/N): autocovariance is (A²/2)·cos(2πk d/N).
+	n, k, amp := 64, 3, 2.0
+	g := grid.New(n, 1)
+	for i := 0; i < n; i++ {
+		g.Data[i] = amp * math.Cos(2*math.Pi*float64(k*i)/float64(n))
+	}
+	cov := AutocovarianceFFT(g)
+	for d := 0; d < n; d++ {
+		want := amp * amp / 2 * math.Cos(2*math.Pi*float64(k*d)/float64(n))
+		if math.Abs(cov.At(d, 0)-want) > 1e-9 {
+			t.Fatalf("lag %d: got %g want %g", d, cov.At(d, 0), want)
+		}
+	}
+}
+
+func TestLagProfiles(t *testing.T) {
+	g := grid.New(16, 16)
+	rng.NewGaussian(8).Fill(g.Data)
+	cov := AutocovarianceFFT(g)
+	px := LagProfileX(cov, 5)
+	py := LagProfileY(cov, 100) // clipped to Ny-1
+	if len(px) != 6 {
+		t.Errorf("LagProfileX length %d", len(px))
+	}
+	if len(py) != 16 {
+		t.Errorf("LagProfileY length %d", len(py))
+	}
+	if px[0] != cov.At(0, 0) || py[0] != cov.At(0, 0) {
+		t.Error("profiles must start at zero lag")
+	}
+	if px[3] != cov.At(3, 0) || py[2] != cov.At(0, 2) {
+		t.Error("profile entries misordered")
+	}
+}
+
+func TestCorrelationLengthExactExponential(t *testing.T) {
+	// profile[i] = exp(-i/5): 1/e crossing at exactly i = 5.
+	profile := make([]float64, 30)
+	for i := range profile {
+		profile[i] = math.Exp(-float64(i) / 5)
+	}
+	if cl := CorrelationLength(profile, 1); math.Abs(cl-5) > 0.02 {
+		t.Errorf("correlation length %g, want 5", cl)
+	}
+	// With spacing 2 the physical length doubles.
+	if cl := CorrelationLength(profile, 2); math.Abs(cl-10) > 0.04 {
+		t.Errorf("correlation length %g, want 10", cl)
+	}
+}
+
+func TestCorrelationLengthNeverDecays(t *testing.T) {
+	profile := []float64{1, 0.99, 0.98, 0.97}
+	if cl := CorrelationLength(profile, 1); cl != 3 {
+		t.Errorf("non-decaying profile should return window edge, got %g", cl)
+	}
+}
+
+func TestCorrelationLengthDegenerate(t *testing.T) {
+	if CorrelationLength(nil, 1) != 0 {
+		t.Error("empty profile")
+	}
+	if CorrelationLength([]float64{0, 0}, 1) != 0 {
+		t.Error("zero-variance profile")
+	}
+}
+
+func TestWeightPeriodogramSingleTone(t *testing.T) {
+	// f = cos(2πk·x/N) has |DFT|² = (N/2)² at bins ±k → ŵ = 1/4 there.
+	n, k := 32, 4
+	g := grid.New(n, 1)
+	for i := 0; i < n; i++ {
+		g.Data[i] = math.Cos(2 * math.Pi * float64(k*i) / float64(n))
+	}
+	w := WeightPeriodogram(g)
+	for i := 0; i < n; i++ {
+		want := 0.0
+		if i == k || i == n-k {
+			want = 0.25
+		}
+		if math.Abs(w.At(i, 0)-want) > 1e-10 {
+			t.Fatalf("bin %d: ŵ=%g want %g", i, w.At(i, 0), want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+
+	"roughsurface/internal/grid"
+)
+
+// SlopeVariance estimates the per-axis slope variances of a surface with
+// central differences: Var[∂f/∂x] and Var[∂f/∂y]. For a twice-
+// differentiable autocorrelation (Gaussian family) the analytic value is
+// −∂²ρ/∂x²(0) = 2h²/clx²; for cusped families (exponential) the surface
+// is not mean-square differentiable and the discrete estimate grows as
+// the spacing shrinks — both behaviors are physical and tested.
+func SlopeVariance(g *grid.Grid) (sx2, sy2 float64) {
+	var nx, ny int
+	for iy := 0; iy < g.Ny; iy++ {
+		for ix := 1; ix < g.Nx-1; ix++ {
+			d := (g.At(ix+1, iy) - g.At(ix-1, iy)) / (2 * g.Dx)
+			sx2 += d * d
+			nx++
+		}
+	}
+	for iy := 1; iy < g.Ny-1; iy++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			d := (g.At(ix, iy+1) - g.At(ix, iy-1)) / (2 * g.Dy)
+			sy2 += d * d
+			ny++
+		}
+	}
+	if nx > 0 {
+		sx2 /= float64(nx)
+	}
+	if ny > 0 {
+		sy2 /= float64(ny)
+	}
+	return sx2, sy2
+}
+
+// RMSSlope returns the root-mean-square slopes per axis.
+func RMSSlope(g *grid.Grid) (sx, sy float64) {
+	sx2, sy2 := SlopeVariance(g)
+	return math.Sqrt(sx2), math.Sqrt(sy2)
+}
+
+// StructureFunctionX estimates the structure function
+// D(d) = E[(f(x+d, y) − f(x, y))²] along x for lags 0..maxLag, using
+// circular differences (matching the circular autocovariance, so the
+// identity D(d) = 2·(C(0) − C(d)) holds exactly for the zero-mean
+// estimator). For a stationary surface D(d) → 2h² at large lags.
+func StructureFunctionX(g *grid.Grid, maxLag int) []float64 {
+	if maxLag >= g.Nx {
+		maxLag = g.Nx - 1
+	}
+	out := make([]float64, maxLag+1)
+	inv := 1 / float64(g.Nx*g.Ny)
+	for d := 1; d <= maxLag; d++ {
+		var acc float64
+		for iy := 0; iy < g.Ny; iy++ {
+			row := g.Row(iy)
+			for ix := range row {
+				diff := row[(ix+d)%g.Nx] - row[ix]
+				acc += diff * diff
+			}
+		}
+		out[d] = acc * inv
+	}
+	return out
+}
+
+// RadialAverage bins a DFT-ordered spectral grid (e.g. the output of
+// WeightPeriodogram, or a weight array from package spectrum) into
+// nbins annuli of radial spatial frequency and returns the bin-center
+// frequencies and the mean value per annulus. The grid's Dx/Dy are the
+// spectral bin widths. Radially averaging collapses the periodogram's
+// per-bin fluctuation by the annulus population, which is what makes
+// single-realization spectrum checks feasible.
+func RadialAverage(w *grid.Grid, nbins int) (freq, mean []float64) {
+	if nbins < 1 {
+		panic("stats: RadialAverage needs at least one bin")
+	}
+	// Maximum meaningful radius: the smaller Nyquist of the two axes,
+	// so annuli stay fully inside the sampled disc.
+	kMax := math.Min(float64(w.Nx/2)*w.Dx, float64(w.Ny/2)*w.Dy)
+	sums := make([]float64, nbins)
+	counts := make([]int, nbins)
+	for my := 0; my < w.Ny; my++ {
+		ky := float64(foldIdx(my, w.Ny)) * w.Dy
+		for mx := 0; mx < w.Nx; mx++ {
+			kx := float64(foldIdx(mx, w.Nx)) * w.Dx
+			k := math.Hypot(kx, ky)
+			if k >= kMax {
+				continue
+			}
+			bin := int(k / kMax * float64(nbins))
+			sums[bin] += w.At(mx, my)
+			counts[bin]++
+		}
+	}
+	freq = make([]float64, nbins)
+	mean = make([]float64, nbins)
+	for i := range sums {
+		freq[i] = (float64(i) + 0.5) * kMax / float64(nbins)
+		if counts[i] > 0 {
+			mean[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return freq, mean
+}
+
+// foldIdx maps DFT bin m of an N-point axis to its frequency index
+// (same convention as the spectrum package's weight arrays).
+func foldIdx(m, n int) int {
+	if 2*m <= n {
+		return m
+	}
+	return n - m
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/grid"
+	"roughsurface/internal/rng"
+)
+
+func TestSlopeVarianceKnownPlane(t *testing.T) {
+	// f = 3x + 4y: slopes are exactly 3 and 4 everywhere.
+	g := grid.New(16, 16)
+	g.Dx, g.Dy = 0.5, 2
+	for iy := 0; iy < 16; iy++ {
+		for ix := 0; ix < 16; ix++ {
+			x, y := g.XY(ix, iy)
+			g.Set(ix, iy, 3*x+4*y)
+		}
+	}
+	sx, sy := RMSSlope(g)
+	if math.Abs(sx-3) > 1e-12 || math.Abs(sy-4) > 1e-12 {
+		t.Errorf("RMS slopes (%g, %g), want (3, 4)", sx, sy)
+	}
+}
+
+func TestSlopeVarianceSinusoid(t *testing.T) {
+	// f = sin(2πx/N): slope variance over a period = (2π/N)²/2 scaled by
+	// the discrete sinc factor sin(2π/N)/(2π/N) of the central
+	// difference; with N=64 the factor is ~0.9984.
+	n := 64
+	g := grid.New(n, 4)
+	for iy := 0; iy < 4; iy++ {
+		for ix := 0; ix < n; ix++ {
+			g.Set(ix, iy, math.Sin(2*math.Pi*float64(ix)/float64(n)))
+		}
+	}
+	sx2, sy2 := SlopeVariance(g)
+	omega := 2 * math.Pi / float64(n)
+	wantApprox := omega * omega / 2
+	if math.Abs(sx2-wantApprox)/wantApprox > 0.05 {
+		t.Errorf("sx² = %g want ≈ %g", sx2, wantApprox)
+	}
+	if sy2 != 0 {
+		t.Errorf("sy² = %g for a y-constant field", sy2)
+	}
+}
+
+func TestStructureFunctionIdentityWithAutocovariance(t *testing.T) {
+	// For the circular zero-mean estimators, D(d) = 2(C(0) − C(d))
+	// exactly — both sides are the same finite sum rearranged.
+	g := grid.New(32, 16)
+	rng.NewGaussian(5).Fill(g.Data)
+	d := StructureFunctionX(g, 10)
+	c := AutocovarianceFFTZeroMean(g)
+	for lag := 0; lag <= 10; lag++ {
+		want := 2 * (c.At(0, 0) - c.At(lag, 0))
+		if math.Abs(d[lag]-want) > 1e-9 {
+			t.Fatalf("lag %d: D = %g, 2(C0−C) = %g", lag, d[lag], want)
+		}
+	}
+}
+
+func TestStructureFunctionSaturatesAtTwiceVariance(t *testing.T) {
+	g := grid.New(128, 64)
+	rng.NewGaussian(6).Fill(g.Data) // white: D(d) = 2 for all d > 0
+	d := StructureFunctionX(g, 5)
+	if d[0] != 0 {
+		t.Error("D(0) must be 0")
+	}
+	for lag := 1; lag <= 5; lag++ {
+		if math.Abs(d[lag]-2) > 0.1 {
+			t.Errorf("white-noise D(%d) = %g, want ≈2", lag, d[lag])
+		}
+	}
+}
+
+func TestRadialAverageFlatField(t *testing.T) {
+	w := grid.New(32, 32)
+	w.Dx, w.Dy = 1, 1
+	w.Fill(3.5)
+	freq, mean := RadialAverage(w, 8)
+	if len(freq) != 8 || len(mean) != 8 {
+		t.Fatal("wrong bin count")
+	}
+	for i, m := range mean {
+		if math.Abs(m-3.5) > 1e-12 {
+			t.Errorf("bin %d mean %g, want 3.5", i, m)
+		}
+		if i > 0 && freq[i] <= freq[i-1] {
+			t.Error("frequencies not increasing")
+		}
+	}
+}
+
+func TestRadialAverageRecoversRadialProfile(t *testing.T) {
+	// Fill a spectral grid with a known radial function and check the
+	// annulus means track it.
+	n := 128
+	w := grid.New(n, n)
+	w.Dx, w.Dy = 1, 1
+	f := func(k float64) float64 { return math.Exp(-k * k / 400) }
+	for my := 0; my < n; my++ {
+		ky := float64(foldIdx(my, n))
+		for mx := 0; mx < n; mx++ {
+			kx := float64(foldIdx(mx, n))
+			w.Set(mx, my, f(math.Hypot(kx, ky)))
+		}
+	}
+	freq, mean := RadialAverage(w, 16)
+	for i := range freq {
+		want := f(freq[i])
+		// Annulus averaging of a curved profile has finite-bin bias;
+		// 6% absolute of peak is ample for 16 bins.
+		if math.Abs(mean[i]-want) > 0.06 {
+			t.Errorf("bin %d (k=%.1f): mean %g want %g", i, freq[i], mean[i], want)
+		}
+	}
+}
+
+func TestRadialAveragePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for nbins=0")
+		}
+	}()
+	RadialAverage(grid.New(4, 4), 0)
+}

@@ -1,0 +1,24 @@
+# Gnuplot script rendering the regenerated paper figures as 3D surface
+# plots in the style of the publication. Generate the data first:
+#
+#   go run ./cmd/rrsgen -scene ... -xyz figN.xyz        # or:
+#   go run ./cmd/rrsfig -fig all -out figures/
+#   go run ./cmd/rrsgen -q -scene /dev/null ...         # any .grid → .xyz via rrsgen -xyz
+#
+# then:  gnuplot -e "datafile='figures/fig1.xyz'" scripts/plot_figures.gp
+#
+# rrsfig writes binary .grid files; convert with
+#   go run ./cmd/rrsgen -scene <scene.json> -xyz out.xyz
+# or use the CSV/XYZ flags of rrsgen directly.
+
+if (!exists("datafile")) datafile = 'fig1.xyz'
+set terminal pngcairo size 1000,800
+set output datafile.'.png'
+set view 55, 35
+set hidden3d
+set ticslevel 0
+set xlabel 'x'
+set ylabel 'y'
+set zlabel 'f(x,y)'
+set palette defined (0 '#20406a', 0.5 'white', 1 '#8b5a2b')
+splot datafile using 1:2:3 with pm3d notitle
