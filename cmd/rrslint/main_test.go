@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"roughsurface/internal/lint"
+)
+
+func TestListChecks(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"floatcmp", "parpolicy", "seedrand", "errdrop", "mapordered"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+}
+
+func TestUnknownCheckExitsError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "nope", "./."}, &out, &errb); code != 2 {
+		t.Errorf("unknown check exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+}
+
+// TestRepoIsLintClean is the gate the rest of the PR maintains: the
+// module's own tree must produce zero findings.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", root + "/..."}, &out, &errb); code != 0 {
+		t.Fatalf("rrslint exit %d on own tree\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("own tree has %d findings", len(diags))
+	}
+}
+
+func TestResolvePatterns(t *testing.T) {
+	root := filepath.FromSlash("/mod")
+	cwd := filepath.FromSlash("/mod/internal")
+	cases := []struct {
+		pats []string
+		want []string
+		all  bool
+		err  bool
+	}{
+		{pats: []string{"./..."}, all: false, want: []string{"internal/..."}},
+		{pats: []string{"fft"}, want: []string{"internal/fft"}},
+		{pats: []string{"/mod/..."}, all: true},
+		{pats: []string{"../../elsewhere"}, err: true},
+	}
+	for _, c := range cases {
+		got, all, err := resolvePatterns(c.pats, cwd, root)
+		if c.err {
+			if err == nil {
+				t.Errorf("%v: want error", c.pats)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%v: %v", c.pats, err)
+			continue
+		}
+		if all != c.all {
+			t.Errorf("%v: all = %v, want %v", c.pats, all, c.all)
+		}
+		if strings.Join(got, ",") != strings.Join(c.want, ",") {
+			t.Errorf("%v: dirs = %v, want %v", c.pats, got, c.want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/spectrum"
 )
@@ -42,7 +43,7 @@ func TestSweepReport(t *testing.T) {
 
 func TestParsePair(t *testing.T) {
 	a, b, err := parsePair(" 1.5, -2 ")
-	if err != nil || a != 1.5 || b != -2 {
+	if err != nil || !approx.Exact(a, 1.5) || !approx.Exact(b, -2) {
 		t.Errorf("parsePair: %g %g %v", a, b, err)
 	}
 	if _, _, err := parsePair("1"); err == nil {

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/core"
 	"roughsurface/internal/figures"
 	"roughsurface/internal/grid"
@@ -87,7 +88,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if last.DiffractionDB <= 0 {
 		t.Errorf("no diffraction loss across a 2σ boulder field: %+v", last)
 	}
-	if last.TotalDB != last.FreeSpaceDB+last.DiffractionDB {
+	if !approx.Exact(last.TotalDB, last.FreeSpaceDB+last.DiffractionDB) {
 		t.Error("breakdown inconsistent")
 	}
 
@@ -127,7 +128,7 @@ func TestFigureArtifactsConsistency(t *testing.T) {
 	}
 	probesB := figures.Evaluate(f, surfA)
 	for i := range probesA {
-		if probesA[i].GotH != probesB[i].GotH {
+		if !approx.Exact(probesA[i].GotH, probesB[i].GotH) {
 			t.Error("probe evaluation not deterministic")
 		}
 	}

@@ -1,0 +1,33 @@
+// Package approx is the shared float-comparison vocabulary of the
+// repository, and the only place allowed to compare floating-point
+// values with == or != (enforced by rrslint's floatcmp check).
+//
+// Two families:
+//
+//   - Equal/EqualC: tolerance comparisons, for anything produced by
+//     floating-point arithmetic;
+//   - Exact/ExactC: bit-for-bit equality, the deliberate spelling for
+//     determinism, round-trip, and clamped-sentinel assertions where
+//     any deviation at all is a bug (the tiled generators promise
+//     bit-identical overlap, not close overlap).
+//
+// Routing exact comparisons through named helpers keeps the intent
+// auditable: a bare == could be a mistake; approx.Exact cannot.
+package approx
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Equal reports |a-b| <= tol.
+func Equal(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// EqualC reports |a-b| <= tol in the complex plane.
+func EqualC(a, b complex128, tol float64) bool { return cmplx.Abs(a-b) <= tol }
+
+// Exact reports bit-for-bit equality of two floats.
+func Exact(a, b float64) bool { return a == b }
+
+// ExactC reports bit-for-bit equality of two complex values.
+func ExactC(a, b complex128) bool { return a == b }

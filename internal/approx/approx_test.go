@@ -1,0 +1,39 @@
+package approx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqual(t *testing.T) {
+	if !Equal(1, 1+1e-12, 1e-9) {
+		t.Error("within tolerance rejected")
+	}
+	if Equal(1, 1.1, 1e-9) {
+		t.Error("outside tolerance accepted")
+	}
+	if Equal(1, math.NaN(), 1e-9) {
+		t.Error("NaN compared equal")
+	}
+	if !EqualC(1+1i, 1+1i+complex(1e-12, 0), 1e-9) {
+		t.Error("complex within tolerance rejected")
+	}
+	if EqualC(1+1i, 2+1i, 1e-9) {
+		t.Error("complex outside tolerance accepted")
+	}
+}
+
+func TestExact(t *testing.T) {
+	if !Exact(0.75, 0.75) {
+		t.Error("identical values rejected")
+	}
+	if Exact(0.75, 0.75+1e-16) || Exact(1, math.Nextafter(1, 2)) {
+		t.Error("adjacent representable values conflated")
+	}
+	if Exact(math.NaN(), math.NaN()) {
+		t.Error("NaN == NaN")
+	}
+	if !ExactC(2+3i, 2+3i) || ExactC(2+3i, 2+3.0000000001i) {
+		t.Error("complex exact comparison wrong")
+	}
+}

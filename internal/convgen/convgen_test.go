@@ -4,12 +4,23 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/dftgen"
 	"roughsurface/internal/spectrum"
 	"roughsurface/internal/stats"
 )
 
 func gaussSpec() spectrum.Spectrum { return spectrum.MustGaussian(1.3, 6, 6) }
+
+// mustKernel designs a kernel or fails the test; never drop the error.
+func mustKernel(t *testing.T, s spectrum.Spectrum, nx, ny int, dx, dy float64) *Kernel {
+	t.Helper()
+	k, err := FromSpectrum(s, nx, ny, dx, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
 
 func TestFromSpectrumValidates(t *testing.T) {
 	s := gaussSpec()
@@ -39,7 +50,7 @@ func TestKernelEnergyMatchesVariance(t *testing.T) {
 }
 
 func TestKernelCenterIsPeak(t *testing.T) {
-	k, _ := FromSpectrum(gaussSpec(), 64, 64, 1, 1)
+	k := mustKernel(t, gaussSpec(), 64, 64, 1, 1)
 	peak := math.Abs(k.At(k.CX, k.CY))
 	for i, tap := range k.Taps {
 		if math.Abs(tap) > peak+1e-12 {
@@ -49,7 +60,7 @@ func TestKernelCenterIsPeak(t *testing.T) {
 }
 
 func TestKernelSymmetry(t *testing.T) {
-	k, _ := FromSpectrum(gaussSpec(), 64, 64, 1, 1)
+	k := mustKernel(t, gaussSpec(), 64, 64, 1, 1)
 	for dy := -10; dy <= 10; dy++ {
 		for dx := -10; dx <= 10; dx++ {
 			a := k.At(k.CX+dx, k.CY+dy)
@@ -96,7 +107,7 @@ func TestKernelSelfCorrelationIsAutocorrelation(t *testing.T) {
 }
 
 func TestTruncateRetainsEnergyAndCenter(t *testing.T) {
-	k, _ := FromSpectrum(gaussSpec(), 128, 128, 1, 1)
+	k := mustKernel(t, gaussSpec(), 128, 128, 1, 1)
 	full := k.Energy()
 	tr := k.Truncate(1e-4)
 	if tr.Nx >= k.Nx || tr.Ny >= k.Ny {
@@ -106,7 +117,7 @@ func TestTruncateRetainsEnergyAndCenter(t *testing.T) {
 		t.Errorf("truncated energy %g below criterion (full %g)", tr.Energy(), full)
 	}
 	// The center tap must still be the zero-lag tap.
-	if tr.At(tr.CX, tr.CY) != k.At(k.CX, k.CY) {
+	if !approx.Exact(tr.At(tr.CX, tr.CY), k.At(k.CX, k.CY)) {
 		t.Error("truncation moved the center tap")
 	}
 	// Looser criterion → smaller kernel (monotonicity).
@@ -117,7 +128,7 @@ func TestTruncateRetainsEnergyAndCenter(t *testing.T) {
 }
 
 func TestTruncatePanicsOnBadEps(t *testing.T) {
-	k, _ := FromSpectrum(gaussSpec(), 32, 32, 1, 1)
+	k := mustKernel(t, gaussSpec(), 32, 32, 1, 1)
 	for _, eps := range []float64{0, -1, 1, 2} {
 		func() {
 			defer func() {
@@ -159,7 +170,7 @@ func TestEnginesAgree(t *testing.T) {
 	if d := a.MaxAbsDiff(b); d > 1e-9 {
 		t.Errorf("direct and FFT engines differ by %g", d)
 	}
-	if a.X0 != b.X0 || a.Y0 != b.Y0 {
+	if !approx.Exact(a.X0, b.X0) || !approx.Exact(a.Y0, b.Y0) {
 		t.Error("engines disagree on geometry")
 	}
 }
@@ -192,7 +203,7 @@ func TestWindowOverlapSeamless(t *testing.T) {
 		for i := 0; i < 32; i++ { // overlap cols in a: x=32..63
 			va := a.At(32+i, 16+j)
 			vb := b.At(i, j)
-			if va != vb {
+			if !approx.Exact(va, vb) {
 				t.Fatalf("overlap mismatch at (%d,%d): %g vs %g", i, j, va, vb)
 			}
 		}
@@ -210,7 +221,7 @@ func TestStreamerMatchesOneShot(t *testing.T) {
 		part := st.Next()
 		for j := 0; j < 20; j++ {
 			for i := 0; i < 48; i++ {
-				if part.At(i, j) != whole.At(i, strip*20+j) {
+				if !approx.Exact(part.At(i, j), whole.At(i, strip*20+j)) {
 					t.Fatalf("strip %d sample (%d,%d) differs", strip, i, j)
 				}
 			}

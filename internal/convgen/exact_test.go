@@ -66,7 +66,10 @@ func TestExactVarianceShapePreserved(t *testing.T) {
 func TestExactVarianceGeneratedSigma(t *testing.T) {
 	s := spectrum.MustExponential(2.0, 4, 4)
 	kRaw := MustDesign(s, 1, 1, 8, NoTruncation)
-	kExact, _ := DesignExact(s, 1, 1, 8, NoTruncation)
+	kExact, err := DesignExact(s, 1, 1, 8, NoTruncation)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Same seed: identical noise, so the σ ratio is exactly the kernel
 	// energy ratio — a deterministic comparison.
 	a := NewGenerator(kRaw, 4).GenerateCentered(128, 128)

@@ -3,6 +3,7 @@ package convgen_test
 import (
 	"fmt"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/spectrum"
 )
@@ -28,6 +29,6 @@ func ExampleGenerator_GenerateAt() {
 	gen := convgen.NewGenerator(k, 7)
 	a := gen.GenerateAt(0, 0, 32, 32)
 	b := gen.GenerateAt(16, 0, 32, 32) // shifted window
-	fmt.Println("overlap identical:", a.At(20, 5) == b.At(4, 5))
+	fmt.Println("overlap identical:", approx.Exact(a.At(20, 5), b.At(4, 5)))
 	// Output: overlap identical: true
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/fft"
 	"roughsurface/internal/spectrum"
 )
@@ -126,7 +127,7 @@ func design(s spectrum.Spectrum, dx, dy, spanCL, eps float64, exact bool) (*Kern
 	if err != nil {
 		return nil, err
 	}
-	if eps == NoTruncation {
+	if approx.Exact(eps, NoTruncation) {
 		return k, nil
 	}
 	if eps <= 0 {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/spectrum"
 )
 
@@ -20,7 +21,7 @@ func TestTruncateRectMeetsEnergyCriterion(t *testing.T) {
 				t.Errorf("%s eps=%g: energy %g below criterion of %g",
 					s.Name(), eps, tr.Energy(), (1-eps)*full.Energy())
 			}
-			if tr.At(tr.CX, tr.CY) != full.At(full.CX, full.CY) {
+			if !approx.Exact(tr.At(tr.CX, tr.CY), full.At(full.CX, full.CY)) {
 				t.Errorf("%s eps=%g: center tap moved", s.Name(), eps)
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/stats"
 )
 
@@ -46,7 +47,7 @@ func TestSpectrumSpecAnisotropicShorthand(t *testing.T) {
 		t.Fatal(err)
 	}
 	clx, cly := s.CorrelationLengths()
-	if clx != 10 || cly != 20 {
+	if !approx.Exact(clx, 10) || !approx.Exact(cly, 20) {
 		t.Errorf("lengths (%g,%g), want (10,20)", clx, cly)
 	}
 }
@@ -113,7 +114,7 @@ func TestSceneJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Nx != sc.Nx || back.TransitionT != sc.TransitionT || len(back.Points) != 2 {
+	if back.Nx != sc.Nx || !approx.Exact(back.TransitionT, sc.TransitionT) || len(back.Points) != 2 {
 		t.Errorf("round trip lost fields: %+v", back)
 	}
 }

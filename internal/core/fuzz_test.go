@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzParseScene exercises the JSON scene parser with arbitrary input:
+// it must never panic, and any scene it accepts must survive a
+// marshal/re-parse round trip and still validate. Mirrors the binary
+// parser fuzz in internal/grid.
+func FuzzParseScene(f *testing.F) {
+	// Seed corpus: valid scenes for every method and spectrum family,
+	// plus near-miss invalid inputs.
+	seeds := []string{
+		`{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":10}}`,
+		`{"nx":32,"ny":48,"dx":0.5,"dy":2,"seed":7,"method":"homogeneous","generator":"dft",
+		  "spectrum":{"family":"powerlaw","h":1.2,"clx":8,"cly":12,"n":2.5}}`,
+		`{"nx":16,"ny":16,"method":"homogeneous","exact_variance":true,
+		  "spectrum":{"family":"exponential","h":0.8,"cl":5}}`,
+		`{"nx":128,"ny":128,"method":"homogeneous","spectrum":{"family":"sea","u":10}}`,
+		`{"nx":64,"ny":64,"method":"plate","regions":[
+		  {"shape":"rect","x1":0,"t":4,"spectrum":{"family":"gaussian","h":1,"cl":10}},
+		  {"shape":"circle","r":20,"t":4,"spectrum":{"family":"exponential","h":2,"cl":6}}]}`,
+		`{"nx":64,"ny":64,"method":"plate","regions":[
+		  {"shape":"sector","r0":5,"r":30,"a0":0,"a1":1.5,"t":2,
+		   "spectrum":{"family":"powerlaw","h":1,"cl":8,"n":2}},
+		  {"shape":"polygon","px":[0,10,5],"py":[0,0,10],"t":1,
+		   "spectrum":{"family":"gaussian","h":1,"cl":4}}]}`,
+		`{"nx":64,"ny":64,"method":"point","transition_t":10,"points":[
+		  {"x":-20,"y":0,"spectrum":{"family":"gaussian","h":1,"cl":10}},
+		  {"x":20,"y":0,"spectrum":{"family":"gaussian","h":3,"cl":10}}]}`,
+		// Rejected inputs: parse errors and validation failures.
+		`{"nx":64,"ny":64,"method":"homogeneous"}`,
+		`{"nx":1,"ny":1,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":10}}`,
+		`{"nx":64,"ny":64,"method":"warp"}`,
+		`{"nx":64,"ny":64,"method":"homogeneous","typo_field":1,
+		  "spectrum":{"family":"gaussian","h":1,"cl":10}}`,
+		`{"nx":64`,
+		`null`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := ParseScene(data)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted scene: it already validated, so it must survive a
+		// marshal/re-parse round trip unchanged in validity.
+		out, err := sc.MarshalIndent()
+		if err != nil {
+			t.Fatalf("accepted scene failed to marshal: %v", err)
+		}
+		back, err := ParseScene(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled scene failed: %v\n%s", err, out)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round-tripped scene no longer valid: %v", err)
+		}
+	})
+}

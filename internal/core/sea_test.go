@@ -38,7 +38,10 @@ func TestSeaSceneGeneratesWithCorrectVariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, _ := sc.Spectrum.Build()
+	spec, err := sc.Spectrum.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := spec.SigmaH()
 	var ms float64
 	for _, v := range res.Surface.Data {

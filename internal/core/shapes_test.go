@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/stats"
 )
 
@@ -87,7 +88,7 @@ func TestSectorPolygonJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Regions[0].A1 != 2.5 || len(back.Regions[1].PX) != 3 {
+	if !approx.Exact(back.Regions[0].A1, 2.5) || len(back.Regions[1].PX) != 3 {
 		t.Errorf("round trip lost shape fields: %+v", back.Regions)
 	}
 }

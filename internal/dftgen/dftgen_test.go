@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/rng"
 	"roughsurface/internal/spectrum"
 	"roughsurface/internal/stats"
@@ -38,7 +39,7 @@ func TestDeterministicForSeed(t *testing.T) {
 func TestOutputGeometry(t *testing.T) {
 	g := Must(spectrum.MustGaussian(1, 8, 8), 128, 64, 2, 4)
 	s := g.GenerateSeeded(1)
-	if s.Nx != 128 || s.Ny != 64 || s.Dx != 2 || s.Dy != 4 {
+	if s.Nx != 128 || s.Ny != 64 || !approx.Exact(s.Dx, 2) || !approx.Exact(s.Dy, 4) {
 		t.Errorf("geometry %dx%d spacing %gx%g", s.Nx, s.Ny, s.Dx, s.Dy)
 	}
 	x, y := s.XY(64, 32)

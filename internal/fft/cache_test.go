@@ -10,11 +10,17 @@ func TestCachedPlanSharesInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := CachedPlan(48)
+	b, err := CachedPlan(48)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Error("cache returned distinct plans for the same length")
 	}
-	c, _ := CachedPlan(64)
+	c, err := CachedPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a == c {
 		t.Error("cache conflated different lengths")
 	}
@@ -28,11 +34,17 @@ func TestCachedPlan2DSharesInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _ := CachedPlan2D(32, 16)
+	b, err := CachedPlan2D(32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a != b {
 		t.Error("cache returned distinct 2D plans")
 	}
-	c, _ := CachedPlan2D(16, 32)
+	c, err := CachedPlan2D(16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a == c {
 		t.Error("cache conflated transposed sizes")
 	}
@@ -48,10 +60,12 @@ func TestCachedPlanConcurrentFirstUse(t *testing.T) {
 	src := randSeq(n, 5)
 	want := make([]complex128, n)
 	MustPlan(n).Forward(want, src)
+	//lint:ignore parpolicy this test deliberately races raw goroutines at the cache
 	var wg sync.WaitGroup
 	errs := make(chan error, 16)
 	for g := 0; g < 16; g++ {
 		wg.Add(1)
+		//lint:ignore parpolicy this test deliberately races raw goroutines at the cache
 		go func() {
 			defer wg.Done()
 			p, err := CachedPlan(n)
@@ -71,6 +85,48 @@ func TestCachedPlanConcurrentFirstUse(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
+}
+
+// TestCachedPlanStress drives both caches from many goroutines with
+// overlapping sizes. Run under -race this exercises the cache's internal
+// locking; the sync.Map records every instance handed out per size so we
+// can assert each size maps to exactly one shared plan.
+func TestCachedPlanStress(t *testing.T) {
+	const workers = 16
+	sizes1D := []int{8, 12, 48, 96, 128, 250}
+	sizes2D := []struct{ nx, ny int }{{8, 8}, {16, 12}, {12, 16}, {32, 32}}
+	var seen1D, seen2D sync.Map
+	//lint:ignore parpolicy stress test must fan out raw goroutines to provoke cache races
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:ignore parpolicy stress test must fan out raw goroutines to provoke cache races
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 8; rep++ {
+				n := sizes1D[(w+rep)%len(sizes1D)]
+				p, err := CachedPlan(n)
+				if err != nil {
+					t.Errorf("CachedPlan(%d): %v", n, err)
+					return
+				}
+				if prev, loaded := seen1D.LoadOrStore(n, p); loaded && prev != p {
+					t.Errorf("CachedPlan(%d) returned distinct instances", n)
+				}
+				sz := sizes2D[(w+rep)%len(sizes2D)]
+				p2, err := CachedPlan2D(sz.nx, sz.ny)
+				if err != nil {
+					t.Errorf("CachedPlan2D(%d,%d): %v", sz.nx, sz.ny, err)
+					return
+				}
+				key := [2]int{sz.nx, sz.ny}
+				if prev, loaded := seen2D.LoadOrStore(key, p2); loaded && prev != p2 {
+					t.Errorf("CachedPlan2D(%d,%d) returned distinct instances", sz.nx, sz.ny)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 var errMismatch = &mismatchError{}

@@ -3,15 +3,17 @@ package fft
 import (
 	"math"
 	"math/cmplx"
-	"math/rand"
 	"testing"
+
+	"roughsurface/internal/approx"
+	"roughsurface/internal/rng"
 )
 
 func rand2D(nx, ny int, seed int64) []complex128 {
-	r := rand.New(rand.NewSource(seed))
+	g := rng.NewGaussian(uint64(seed))
 	d := make([]complex128, nx*ny)
 	for i := range d {
-		d[i] = complex(r.NormFloat64(), r.NormFloat64())
+		d[i] = complex(g.Next(), g.Next())
 	}
 	return d
 }
@@ -123,7 +125,7 @@ func TestShift2DInvolutionEvenSizes(t *testing.T) {
 	if e := maxErr(twice, src); e > 0 {
 		t.Errorf("Shift2D twice should be identity on even sizes, err %g", e)
 	}
-	if once[(ny/2)*nx+nx/2] != src[0] {
+	if !approx.ExactC(once[(ny/2)*nx+nx/2], src[0]) {
 		t.Error("Shift2D did not move bin (0,0) to the center")
 	}
 }
@@ -132,9 +134,9 @@ func TestShiftReal2DMatchesComplex(t *testing.T) {
 	nx, ny := 6, 10
 	srcR := make([]float64, nx*ny)
 	srcC := make([]complex128, nx*ny)
-	r := rand.New(rand.NewSource(11))
+	g := rng.NewGaussian(11)
 	for i := range srcR {
-		srcR[i] = r.NormFloat64()
+		srcR[i] = g.Next()
 		srcC[i] = complex(srcR[i], 0)
 	}
 	dstR := make([]float64, nx*ny)
@@ -142,7 +144,7 @@ func TestShiftReal2DMatchesComplex(t *testing.T) {
 	ShiftReal2D(dstR, srcR, nx, ny)
 	Shift2D(dstC, srcC, nx, ny)
 	for i := range dstR {
-		if dstR[i] != real(dstC[i]) {
+		if !approx.Exact(dstR[i], real(dstC[i])) {
 			t.Fatalf("mismatch at %d", i)
 		}
 	}

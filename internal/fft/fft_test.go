@@ -4,15 +4,16 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 	"testing"
+
+	"roughsurface/internal/rng"
 )
 
 func randSeq(n int, seed int64) []complex128 {
-	r := rand.New(rand.NewSource(seed))
+	g := rng.NewGaussian(uint64(seed))
 	s := make([]complex128, n)
 	for i := range s {
-		s[i] = complex(r.NormFloat64(), r.NormFloat64())
+		s[i] = complex(g.Next(), g.Next())
 	}
 	return s
 }
@@ -196,6 +197,7 @@ func TestPlanConcurrentUse(t *testing.T) {
 	p.Forward(want, src)
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {
+		//lint:ignore parpolicy this test deliberately shares one plan across raw goroutines
 		go func() {
 			dst := make([]complex128, 100)
 			for it := 0; it < 50; it++ {

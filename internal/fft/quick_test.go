@@ -2,9 +2,10 @@ package fft
 
 import (
 	"math/cmplx"
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"roughsurface/internal/rng"
 )
 
 // Property: for random inputs of random (small) lengths, forward FFT
@@ -73,10 +74,10 @@ func TestQuickShiftTheorem(t *testing.T) {
 func TestQuickRealEvenHasRealSpectrum(t *testing.T) {
 	f := func(seed int64, rawN uint8) bool {
 		n := int(rawN)%64 + 4
-		r := rand.New(rand.NewSource(seed))
+		g := rng.NewGaussian(uint64(seed))
 		x := make([]complex128, n)
 		for i := 0; i <= n/2; i++ {
-			v := complex(r.NormFloat64(), 0)
+			v := complex(g.Next(), 0)
 			x[i] = v
 			x[(n-i)%n] = v
 		}

@@ -1,21 +1,22 @@
 package fft
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"roughsurface/internal/rng"
 )
 
 func TestForwardRealPairMatchesSeparate(t *testing.T) {
 	cases := []struct{ nx, ny int }{{4, 4}, {8, 6}, {5, 7}, {16, 16}, {32, 8}}
 	for _, c := range cases {
 		n := c.nx * c.ny
-		r := rand.New(rand.NewSource(int64(n)))
+		g := rng.NewGaussian(uint64(n))
 		a := make([]float64, n)
 		b := make([]float64, n)
 		for i := range a {
-			a[i] = r.NormFloat64()
-			b[i] = r.NormFloat64()
+			a[i] = g.Next()
+			b[i] = g.Next()
 		}
 		p := MustPlan2D(c.nx, c.ny)
 
@@ -57,12 +58,12 @@ func TestQuickForwardRealPair(t *testing.T) {
 		nx := int(rawNx)%12 + 2
 		ny := int(rawNy)%12 + 2
 		n := nx * ny
-		r := rand.New(rand.NewSource(seed))
+		g := rng.NewGaussian(uint64(seed))
 		a := make([]float64, n)
 		b := make([]float64, n)
 		for i := range a {
-			a[i] = r.NormFloat64()
-			b[i] = r.NormFloat64()
+			a[i] = g.Next()
+			b[i] = g.Next()
 		}
 		p := MustPlan2D(nx, ny)
 		fa := make([]complex128, n)

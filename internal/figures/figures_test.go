@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"roughsurface/internal/approx"
 )
 
 // Reduced-resolution figure runs: the physical extents and all paper
@@ -171,7 +173,7 @@ func TestGroupMeansPools(t *testing.T) {
 	if math.Abs(m["a"]-want) > 1e-12 {
 		t.Errorf("pooled a = %g want %g", m["a"], want)
 	}
-	if m["b"] != 2 {
+	if !approx.Exact(m["b"], 2) {
 		t.Errorf("pooled b = %g", m["b"])
 	}
 }
@@ -189,7 +191,10 @@ func TestFormatResults(t *testing.T) {
 
 func TestProbesInsideGrid(t *testing.T) {
 	for id := 1; id <= 4; id++ {
-		f, _ := Get(id, testN, 1)
+		f, err := Get(id, testN, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
 		half := float64(f.Scene.Nx) * f.Scene.Dx / 2
 		for _, p := range f.Probes {
 			if p.X0 < -half || p.Y0 < -half || p.X0+p.W > half || p.Y0+p.H > half {

@@ -3,18 +3,17 @@ package grid
 import (
 	"bytes"
 	"math"
-	"math/rand"
 	"path/filepath"
 	"testing"
 	"testing/quick"
+
+	"roughsurface/internal/approx"
+	"roughsurface/internal/rng"
 )
 
 func randomGrid(nx, ny int, seed int64) *Grid {
 	g := NewCentered(nx, ny, 2, 3)
-	r := rand.New(rand.NewSource(seed))
-	for i := range g.Data {
-		g.Data[i] = r.NormFloat64()
-	}
+	rng.NewGaussian(uint64(seed)).Fill(g.Data)
 	return g
 }
 
@@ -25,7 +24,7 @@ func TestNewCenteredOrigin(t *testing.T) {
 		t.Errorf("center sample at (%g,%g), want (0,0)", x, y)
 	}
 	x, y = g.XY(0, 0)
-	if x != -4 || y != -3 {
+	if !approx.Exact(x, -4) || !approx.Exact(y, -3) {
 		t.Errorf("corner sample at (%g,%g), want (-4,-3)", x, y)
 	}
 }
@@ -33,10 +32,10 @@ func TestNewCenteredOrigin(t *testing.T) {
 func TestAtSetIndex(t *testing.T) {
 	g := New(5, 4)
 	g.Set(3, 2, 7.5)
-	if g.At(3, 2) != 7.5 {
+	if !approx.Exact(g.At(3, 2), 7.5) {
 		t.Error("Set/At mismatch")
 	}
-	if g.Data[g.Index(3, 2)] != 7.5 {
+	if !approx.Exact(g.Data[g.Index(3, 2)], 7.5) {
 		t.Error("Index inconsistent with At")
 	}
 }
@@ -45,7 +44,7 @@ func TestCloneIsDeep(t *testing.T) {
 	g := randomGrid(4, 4, 1)
 	c := g.Clone()
 	c.Data[0] = 999
-	if g.Data[0] == 999 {
+	if approx.Exact(g.Data[0], 999) {
 		t.Error("Clone shares backing array")
 	}
 }
@@ -58,12 +57,12 @@ func TestSubPreservesCoordinates(t *testing.T) {
 	}
 	for iy := 0; iy < s.Ny; iy++ {
 		for ix := 0; ix < s.Nx; ix++ {
-			if s.At(ix, iy) != g.At(ix+4, iy+3) {
+			if !approx.Exact(s.At(ix, iy), g.At(ix+4, iy+3)) {
 				t.Fatalf("sample mismatch at (%d,%d)", ix, iy)
 			}
 			sx, sy := s.XY(ix, iy)
 			gx, gy := g.XY(ix+4, iy+3)
-			if sx != gx || sy != gy {
+			if !approx.Exact(sx, gx) || !approx.Exact(sy, gy) {
 				t.Fatalf("coordinate mismatch at (%d,%d)", ix, iy)
 			}
 		}
@@ -83,10 +82,10 @@ func TestMinMaxMean(t *testing.T) {
 	g := New(2, 2)
 	copy(g.Data, []float64{1, -3, 5, 1})
 	min, max := g.MinMax()
-	if min != -3 || max != 5 {
+	if !approx.Exact(min, -3) || !approx.Exact(max, 5) {
 		t.Errorf("MinMax = (%g,%g)", min, max)
 	}
-	if g.Mean() != 1 {
+	if !approx.Exact(g.Mean(), 1) {
 		t.Errorf("Mean = %g", g.Mean())
 	}
 }
@@ -99,12 +98,12 @@ func TestAddScaledScale(t *testing.T) {
 	a.AddScaled(0.5, b)
 	want := []float64{6, 12, 18, 24}
 	for i := range want {
-		if a.Data[i] != want[i] {
+		if !approx.Exact(a.Data[i], want[i]) {
 			t.Fatalf("AddScaled[%d] = %g want %g", i, a.Data[i], want[i])
 		}
 	}
 	a.Scale(2)
-	if a.Data[0] != 12 {
+	if !approx.Exact(a.Data[0], 12) {
 		t.Error("Scale failed")
 	}
 }
@@ -137,7 +136,9 @@ func TestBinaryRejectsCorruptHeader(t *testing.T) {
 	}
 	// Implausible dimension.
 	buf.Reset()
-	g.WriteTo(&buf)
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
 	raw = buf.Bytes()
 	for i := 8; i < 16; i++ {
 		raw[i] = 0xff
@@ -150,7 +151,9 @@ func TestBinaryRejectsCorruptHeader(t *testing.T) {
 func TestBinaryRejectsTruncation(t *testing.T) {
 	g := randomGrid(8, 8, 6)
 	var buf bytes.Buffer
-	g.WriteTo(&buf)
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
 	raw := buf.Bytes()
 	if _, err := Read(bytes.NewReader(raw[:len(raw)-5])); err == nil {
 		t.Error("truncated payload accepted")
@@ -226,7 +229,7 @@ func TestCGridRealAndFromReal(t *testing.T) {
 	if !back.EqualWithin(g, 0) {
 		t.Error("FromReal/Real round trip changed samples")
 	}
-	if back.Dx != g.Dx || back.X0 != g.X0 {
+	if !approx.Exact(back.Dx, g.Dx) || !approx.Exact(back.X0, g.X0) {
 		t.Error("Real did not copy geometry from template")
 	}
 }
@@ -237,7 +240,7 @@ func TestCGridMulElem(t *testing.T) {
 	a.Set(0, 0, complex(2, 1))
 	b.Set(0, 0, complex(3, -1))
 	a.MulElem(b)
-	if a.At(0, 0) != complex(7, 1) {
+	if !approx.ExactC(a.At(0, 0), complex(7, 1)) {
 		t.Errorf("MulElem = %v", a.At(0, 0))
 	}
 }
@@ -245,7 +248,7 @@ func TestCGridMulElem(t *testing.T) {
 func TestCGridMaxImagAbs(t *testing.T) {
 	c := NewC(2, 2)
 	c.Set(1, 1, complex(0, -0.25))
-	if got := c.MaxImagAbs(); got != 0.25 {
+	if got := c.MaxImagAbs(); !approx.Exact(got, 0.25) {
 		t.Errorf("MaxImagAbs = %g", got)
 	}
 }

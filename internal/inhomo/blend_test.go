@@ -4,7 +4,29 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"roughsurface/internal/approx"
 )
+
+// mustPlateBlender builds a plate blender or fails the test.
+func mustPlateBlender(t *testing.T, regions []Region) *PlateBlender {
+	t.Helper()
+	b, err := NewPlateBlender(regions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// mustPointBlender builds a point blender or fails the test.
+func mustPointBlender(t *testing.T, pts []Point, T float64, ncomp int) *PointBlender {
+	t.Helper()
+	b, err := NewPointBlender(pts, T, ncomp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
 
 func weightsOK(w []float64) bool {
 	var sum float64
@@ -18,39 +40,39 @@ func weightsOK(w []float64) bool {
 }
 
 func TestRampShape(t *testing.T) {
-	if ramp(0, 10) != 0.5 {
+	if !approx.Exact(ramp(0, 10), 0.5) {
 		t.Error("ramp at boundary should be 1/2")
 	}
-	if ramp(10, 10) != 1 || ramp(15, 10) != 1 {
+	if !approx.Exact(ramp(10, 10), 1) || !approx.Exact(ramp(15, 10), 1) {
 		t.Error("ramp deep inside should be 1")
 	}
 	if ramp(-10, 10) != 0 || ramp(-15, 10) != 0 {
 		t.Error("ramp deep outside should be 0")
 	}
-	if got := ramp(5, 10); got != 0.75 {
+	if got := ramp(5, 10); !approx.Exact(got, 0.75) {
 		t.Errorf("ramp(5,10) = %g want 0.75", got)
 	}
 	// Hard boundary.
-	if ramp(0, 0) != 1 || ramp(-1e-9, 0) != 0 {
+	if !approx.Exact(ramp(0, 0), 1) || ramp(-1e-9, 0) != 0 {
 		t.Error("hard boundary misbehaves")
 	}
 }
 
 func TestRectSupport(t *testing.T) {
 	r := Rect{X0: 0, Y0: 0, X1: 100, Y1: 50, T: 10}
-	if r.Support(50, 25) != 1 {
+	if !approx.Exact(r.Support(50, 25), 1) {
 		t.Error("core support should be 1")
 	}
-	if r.Support(0, 25) != 0.5 {
+	if !approx.Exact(r.Support(0, 25), 0.5) {
 		t.Error("edge support should be 1/2")
 	}
 	if r.Support(-10, 25) != 0 {
 		t.Error("far outside support should be 0")
 	}
-	if got := r.Support(50, 45); got != 0.75 { // 5 inside the y=50 edge, T=10
+	if got := r.Support(50, 45); !approx.Exact(got, 0.75) { // 5 inside the y=50 edge, T=10
 		t.Errorf("support %g at y=45, want 0.75", got)
 	}
-	if got := r.Support(50, 55); got != 0.25 {
+	if got := r.Support(50, 55); !approx.Exact(got, 0.25) {
 		t.Errorf("support %g at y=55, want 0.25", got)
 	}
 }
@@ -58,29 +80,29 @@ func TestRectSupport(t *testing.T) {
 func TestRectInfiniteExtents(t *testing.T) {
 	// A quadrant: x ≥ 0, y ≥ 0.
 	q := Rect{X0: 0, Y0: 0, X1: math.Inf(1), Y1: math.Inf(1), T: 5}
-	if q.Support(1000, 1000) != 1 {
+	if !approx.Exact(q.Support(1000, 1000), 1) {
 		t.Error("deep quadrant support")
 	}
-	if q.Support(0, 1000) != 0.5 {
+	if !approx.Exact(q.Support(0, 1000), 0.5) {
 		t.Error("quadrant edge support")
 	}
-	if q.Support(0, 0) != 0.5 {
+	if !approx.Exact(q.Support(0, 0), 0.5) {
 		t.Error("quadrant corner support")
 	}
 }
 
 func TestCircleSupport(t *testing.T) {
 	c := Circle{CX: 10, CY: -5, R: 100, T: 20}
-	if c.Support(10, -5) != 1 {
+	if !approx.Exact(c.Support(10, -5), 1) {
 		t.Error("center support")
 	}
-	if c.Support(110, -5) != 0.5 {
+	if !approx.Exact(c.Support(110, -5), 0.5) {
 		t.Error("rim support")
 	}
 	if c.Support(150, -5) != 0 {
 		t.Error("outside support")
 	}
-	if got := c.Support(100, -5); got != 0.75 {
+	if got := c.Support(100, -5); !approx.Exact(got, 0.75) {
 		t.Errorf("support %g at r=90, want 0.75", got)
 	}
 }
@@ -114,7 +136,7 @@ func TestPlateQuadrants(t *testing.T) {
 	w := make([]float64, 4)
 
 	b.BlendWeights(w, 500, 500)
-	if w[0] != 1 || w[1] != 0 || w[2] != 0 || w[3] != 0 {
+	if !approx.Exact(w[0], 1) || w[1] != 0 || w[2] != 0 || w[3] != 0 {
 		t.Errorf("deep Q1 weights %v", w)
 	}
 	// On the positive y-axis, far from the origin: Q1/Q2 split evenly.
@@ -137,13 +159,13 @@ func TestPlateQuadrants(t *testing.T) {
 }
 
 func TestPlateFallbackUniform(t *testing.T) {
-	b, _ := NewPlateBlender([]Region{
+	b := mustPlateBlender(t, []Region{
 		Rect{X0: 0, Y0: 0, X1: 1, Y1: 1, T: 0.1},
 		Rect{X0: 2, Y0: 2, X1: 3, Y1: 3, T: 0.1},
 	})
 	w := make([]float64, 2)
 	b.BlendWeights(w, -100, -100) // coverage gap
-	if w[0] != 0.5 || w[1] != 0.5 {
+	if !approx.Exact(w[0], 0.5) || !approx.Exact(w[1], 0.5) {
 		t.Errorf("gap fallback weights %v", w)
 	}
 }
@@ -192,13 +214,13 @@ func TestPointBlenderTwoPointRamp(t *testing.T) {
 		t.Errorf("band weights %v, want (0.25, 0.75)", w)
 	}
 	b.BlendWeights(w, 60, 0) // beyond the band: pure component 1
-	if w[0] != 0 || w[1] != 1 {
+	if w[0] != 0 || !approx.Exact(w[1], 1) {
 		t.Errorf("outside-band weights %v", w)
 	}
 }
 
 func TestPointBlenderContinuityAcrossBisector(t *testing.T) {
-	b, _ := NewPointBlender([]Point{
+	b := mustPointBlender(t, []Point{
 		{X: -100, Y: 30, Component: 0},
 		{X: 100, Y: -30, Component: 1},
 	}, 40, 2)
@@ -236,7 +258,7 @@ func TestPointBlenderContinuityAcrossBisector(t *testing.T) {
 func TestPointBlenderSharedComponentsAccumulate(t *testing.T) {
 	// Two coincident-component points both near the probe: their weights
 	// add up in the component bin.
-	b, _ := NewPointBlender([]Point{
+	b := mustPointBlender(t, []Point{
 		{X: -10, Y: 0, Component: 0},
 		{X: 10, Y: 0, Component: 0},
 		{X: 0, Y: 1000, Component: 1},
@@ -249,7 +271,7 @@ func TestPointBlenderSharedComponentsAccumulate(t *testing.T) {
 }
 
 func TestPointBlenderCoincidentPoints(t *testing.T) {
-	b, _ := NewPointBlender([]Point{
+	b := mustPointBlender(t, []Point{
 		{X: 0, Y: 0, Component: 0},
 		{X: 0, Y: 0, Component: 1},
 	}, 10, 2)
@@ -307,7 +329,7 @@ func TestUniformBlender(t *testing.T) {
 	b := UniformBlender{M: 3, Index: 1}
 	w := make([]float64, 3)
 	b.BlendWeights(w, 123, -456)
-	if w[0] != 0 || w[1] != 1 || w[2] != 0 {
+	if w[0] != 0 || !approx.Exact(w[1], 1) || w[2] != 0 {
 		t.Errorf("uniform blender weights %v", w)
 	}
 }

@@ -2,6 +2,7 @@ package inhomo
 
 import (
 	"math"
+	"sort"
 
 	"roughsurface/internal/grid"
 )
@@ -174,12 +175,7 @@ func RegionsFromLabels(mask *grid.Grid, t float64) (labels []int, regions []Regi
 	for l := range seen {
 		labels = append(labels, l)
 	}
-	// Insertion sort: label counts are tiny.
-	for i := 1; i < len(labels); i++ {
-		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
-			labels[j], labels[j-1] = labels[j-1], labels[j]
-		}
-	}
+	sort.Ints(labels)
 	for _, l := range labels {
 		regions = append(regions, NewMaskRegion(mask, l, t))
 	}

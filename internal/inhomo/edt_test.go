@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/grid"
 	"roughsurface/internal/rng"
@@ -43,7 +44,7 @@ func TestEDTSingleFeature(t *testing.T) {
 	for y := 0; y < ny; y++ {
 		for x := 0; x < nx; x++ {
 			want := float64((x-3)*(x-3) + (y-2)*(y-2))
-			if got[y*nx+x] != want {
+			if !approx.Exact(got[y*nx+x], want) {
 				t.Fatalf("(%d,%d): %g want %g", x, y, got[y*nx+x], want)
 			}
 		}
@@ -89,7 +90,7 @@ func TestQuickEDTMatchesBruteForce(t *testing.T) {
 				}
 				continue
 			}
-			if got[i] != want[i] {
+			if !approx.Exact(got[i], want[i]) {
 				return false
 			}
 		}
@@ -116,7 +117,7 @@ func TestMaskRegionSupportGeometry(t *testing.T) {
 	r := NewMaskRegion(m, 1, 8)
 	// Deep inside the blob (cell (12,16) → physical via mask geometry).
 	x, y := m.XY(12, 16)
-	if got := r.Support(x, y); got != 1 {
+	if got := r.Support(x, y); !approx.Exact(got, 1) {
 		t.Errorf("deep inside support %g", got)
 	}
 	// Deep outside.

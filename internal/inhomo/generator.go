@@ -3,6 +3,7 @@ package inhomo
 import (
 	"fmt"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/grid"
 	"roughsurface/internal/par"
@@ -43,7 +44,7 @@ func NewGenerator(kernels []*convgen.Kernel, blender Blender, seed uint64) (*Gen
 	dx, dy := kernels[0].Dx, kernels[0].Dy
 	convs := make([]*convgen.Generator, len(kernels))
 	for i, k := range kernels {
-		if k.Dx != dx || k.Dy != dy {
+		if !approx.Exact(k.Dx, dx) || !approx.Exact(k.Dy, dy) {
 			return nil, fmt.Errorf("inhomo: kernel %d spacing (%g,%g) differs from (%g,%g)",
 				i, k.Dx, k.Dy, dx, dy)
 		}

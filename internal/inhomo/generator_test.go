@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/spectrum"
 	"roughsurface/internal/stats"
@@ -34,7 +35,10 @@ func TestNewGeneratorValidates(t *testing.T) {
 		t.Error("component count mismatch accepted")
 	}
 	// Mismatched spacing.
-	odd, _ := convgen.Design(spectrum.MustGaussian(1, 4, 4), 2, 2, 6, 1e-3)
+	odd, err := convgen.Design(spectrum.MustGaussian(1, 4, 4), 2, 2, 6, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := NewGenerator([]*convgen.Kernel{ks[0], odd}, UniformBlender{M: 2}, 1); err == nil {
 		t.Error("mismatched spacing accepted")
 	}
@@ -101,7 +105,7 @@ func TestUniformBlendReducesToHomogeneous(t *testing.T) {
 
 func TestWorkerInvariance(t *testing.T) {
 	ks := smallKernels(t)
-	blender, _ := NewPlateBlender([]Region{
+	blender := mustPlateBlender(t, []Region{
 		Rect{X0: math.Inf(-1), Y0: math.Inf(-1), X1: 0, Y1: math.Inf(1), T: 4},
 		Rect{X0: 0, Y0: math.Inf(-1), X1: math.Inf(1), Y1: math.Inf(1), T: 4},
 	})
@@ -121,7 +125,7 @@ func TestWorkerInvariance(t *testing.T) {
 func TestPerRegionStatistics(t *testing.T) {
 	left := convgen.MustDesign(spectrum.MustGaussian(1.0, 6, 6), 1, 1, 8, 1e-4)
 	right := convgen.MustDesign(spectrum.MustGaussian(3.0, 6, 6), 1, 1, 8, 1e-4)
-	blender, _ := NewPlateBlender([]Region{
+	blender := mustPlateBlender(t, []Region{
 		Rect{X0: math.Inf(-1), Y0: math.Inf(-1), X1: 0, Y1: math.Inf(1), T: 10},
 		Rect{X0: 0, Y0: math.Inf(-1), X1: math.Inf(1), Y1: math.Inf(1), T: 10},
 	})
@@ -151,7 +155,7 @@ func TestTransitionIsGradual(t *testing.T) {
 	lowK := convgen.MustDesign(spectrum.MustGaussian(0.5, 6, 6), 1, 1, 8, 1e-4)
 	highK := convgen.MustDesign(spectrum.MustGaussian(2.5, 6, 6), 1, 1, 8, 1e-4)
 	T := 30.0
-	blender, _ := NewPlateBlender([]Region{
+	blender := mustPlateBlender(t, []Region{
 		Rect{X0: math.Inf(-1), Y0: math.Inf(-1), X1: 0, Y1: math.Inf(1), T: T},
 		Rect{X0: 0, Y0: math.Inf(-1), X1: math.Inf(1), Y1: math.Inf(1), T: T},
 	})
@@ -183,7 +187,7 @@ func TestTransitionIsGradual(t *testing.T) {
 
 func TestWeightMapPartition(t *testing.T) {
 	ks := smallKernels(t)
-	blender, _ := NewPlateBlender([]Region{
+	blender := mustPlateBlender(t, []Region{
 		Circle{R: 10, T: 4},
 		Complement{Inner: Circle{R: 10, T: 4}},
 	})
@@ -195,7 +199,7 @@ func TestWeightMapPartition(t *testing.T) {
 			t.Fatalf("weight maps do not partition unity at %d: %g", i, s)
 		}
 	}
-	if w0.At(16, 16) != 1 { // lattice origin = circle center
+	if !approx.Exact(w0.At(16, 16), 1) { // lattice origin = circle center
 		t.Error("circle center should be pure component 0")
 	}
 }
@@ -217,7 +221,7 @@ func TestWeightMapPanicsOnBadIndex(t *testing.T) {
 // index).
 func TestSeamlessTiling(t *testing.T) {
 	ks := smallKernels(t)
-	blender, _ := NewPointBlender([]Point{
+	blender := mustPointBlender(t, []Point{
 		{X: -20, Y: 0, Component: 0},
 		{X: 20, Y: 0, Component: 1},
 	}, 10, 2)

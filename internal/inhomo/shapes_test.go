@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/spectrum"
 )
@@ -12,13 +13,13 @@ import (
 func TestSectorSupportFullRing(t *testing.T) {
 	// Full-circle sector degenerates to an annulus.
 	s := Sector{R0: 10, R1: 20, A0: 0, A1: 2 * math.Pi, T: 2}
-	if s.Support(15, 0) != 1 {
+	if !approx.Exact(s.Support(15, 0), 1) {
 		t.Error("mid-annulus support")
 	}
-	if s.Support(0, 15) != 1 {
+	if !approx.Exact(s.Support(0, 15), 1) {
 		t.Error("annulus must be angle-independent")
 	}
-	if s.Support(10, 0) != 0.5 || s.Support(20, 0) != 0.5 {
+	if !approx.Exact(s.Support(10, 0), 0.5) || !approx.Exact(s.Support(20, 0), 0.5) {
 		t.Error("annulus rim support should be 1/2")
 	}
 	if s.Support(0, 0) != 0 || s.Support(30, 0) != 0 {
@@ -29,11 +30,11 @@ func TestSectorSupportFullRing(t *testing.T) {
 func TestSectorSupportWedge(t *testing.T) {
 	// Quarter wedge in the first quadrant, radii 0..100.
 	s := Sector{R0: 0, R1: 100, A0: 0, A1: math.Pi / 2, T: 5}
-	if s.Support(30, 30) != 1 { // mid-wedge, far from all edges
+	if !approx.Exact(s.Support(30, 30), 1) { // mid-wedge, far from all edges
 		t.Error("wedge core support")
 	}
 	// On the angular edge (positive x-axis) the arc distance is 0.
-	if got := s.Support(50, 0); got != 0.5 {
+	if got := s.Support(50, 0); !approx.Exact(got, 0.5) {
 		t.Errorf("angular edge support %g, want 0.5", got)
 	}
 	// Just outside the wedge.
@@ -49,7 +50,7 @@ func TestSectorSupportWedge(t *testing.T) {
 func TestSectorAngularWraparound(t *testing.T) {
 	// Sector straddling the ±π cut: angles [3π/4, 5π/4].
 	s := Sector{R0: 0, R1: 100, A0: 3 * math.Pi / 4, A1: 5 * math.Pi / 4, T: 1}
-	if s.Support(-50, 0) != 1 { // along the negative x-axis: sector middle
+	if !approx.Exact(s.Support(-50, 0), 1) { // along the negative x-axis: sector middle
 		t.Error("wraparound sector core")
 	}
 	if s.Support(50, 0) != 0 {
@@ -96,10 +97,10 @@ func TestPolygonConcave(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if poly.Support(10, 10) != 1 {
+	if !approx.Exact(poly.Support(10, 10), 1) {
 		t.Error("inside the L's lower arm")
 	}
-	if poly.Support(10, 30) != 1 {
+	if !approx.Exact(poly.Support(10, 30), 1) {
 		t.Error("inside the L's upper arm")
 	}
 	if poly.Support(30, 30) != 0 {
@@ -122,7 +123,10 @@ func TestQuickSectorSupportInRange(t *testing.T) {
 }
 
 func TestQuickPolygonSupportInRange(t *testing.T) {
-	poly, _ := NewPolygon([]float64{0, 30, 45, 10, -20}, []float64{0, 5, 40, 55, 30}, 6)
+	poly, err := NewPolygon([]float64{0, 30, 45, 10, -20}, []float64{0, 5, 40, 55, 30}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := func(x, y float64) bool {
 		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
 			return true

@@ -1,0 +1,127 @@
+package lint
+
+// errdrop: discarded error results from this module's own APIs
+// (fft.CachedPlan, grid IO, generator constructors, ...). A dropped
+// internal error usually means a surface was generated from an invalid
+// plan or a file silently failed to persist. Flagged forms:
+//
+//	api.Do()            // call statement, results discarded
+//	defer api.Do()      // deferred, error unobservable
+//	go api.Do()         // goroutine, error unobservable
+//	v, _ := api.Make()  // error position assigned to blank
+//
+// Only direct calls to functions and methods defined inside the module
+// are checked; stdlib calls (fmt.Fprintf, ...) are vet's business.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func runErrdrop(p *pass) {
+	for _, f := range p.unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					p.checkDroppedCall(call, "discarded")
+				}
+			case *ast.DeferStmt:
+				p.checkDroppedCall(n.Call, "unobservable in defer")
+			case *ast.GoStmt:
+				p.checkDroppedCall(n.Call, "unobservable in go statement")
+			case *ast.AssignStmt:
+				p.checkBlankErr(n)
+			}
+			return true
+		})
+	}
+}
+
+// internalCallee resolves a direct call to a function or method
+// defined in this module; nil otherwise.
+func (p *pass) internalCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := p.unit.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != p.modPath && !strings.HasPrefix(path, p.modPath+"/") {
+		return nil
+	}
+	return fn
+}
+
+// calleeName renders the callee compactly, without the module prefix.
+func (p *pass) calleeName(fn *types.Func) string {
+	return strings.ReplaceAll(fn.FullName(), p.modPath+"/", "")
+}
+
+func errorResults(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type()
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func (p *pass) checkDroppedCall(call *ast.CallExpr, how string) {
+	fn := p.internalCallee(call)
+	if fn == nil || len(errorResults(fn)) == 0 {
+		return
+	}
+	p.reportf(call.Pos(), "errdrop", "error result of %s %s", p.calleeName(fn), how)
+}
+
+func (p *pass) checkBlankErr(n *ast.AssignStmt) {
+	report := func(call *ast.CallExpr, lhs ast.Expr, resultIdx int) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return
+		}
+		fn := p.internalCallee(call)
+		if fn == nil {
+			return
+		}
+		for _, e := range errorResults(fn) {
+			if e == resultIdx {
+				p.reportf(id.Pos(), "errdrop",
+					"error result of %s assigned to blank", p.calleeName(fn))
+			}
+		}
+	}
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		// v, _ := api.Make(): one multi-result call.
+		if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+			for i, lhs := range n.Lhs {
+				report(call, lhs, i)
+			}
+		}
+		return
+	}
+	if len(n.Rhs) == len(n.Lhs) {
+		// _ = api.Do() and parallel assignments.
+		for i, rhs := range n.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				report(call, n.Lhs[i], 0)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+// floatcmp: exact ==/!= between floating-point or complex operands.
+// De Castro et al. show how silent statistical-pipeline mistakes skew
+// surface statistics; exact float equality is the classic one. What
+// stays legal: comparison against an exact constant zero (the "field
+// unset" sentinel used throughout the scene specs), the x != x NaN
+// test, the internal/approx package (the one blessed home of float
+// comparison), and comparisons inside tolerance helpers themselves
+// (functions whose name says approx/almost/close/within/toler).
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// approvedCmpFunc names functions allowed to compare floats exactly:
+// the tolerance helpers and equality shims the rest of the code is
+// told to use instead.
+var approvedCmpFunc = regexp.MustCompile(`(?i)(approx|almost|close|within|toler)`)
+
+func runFloatcmp(p *pass) {
+	if p.unit.Dir == "internal/approx" {
+		return
+	}
+	for _, f := range p.unit.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && approvedCmpFunc.MatchString(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				tx := p.unit.Info.Types[be.X]
+				ty := p.unit.Info.Types[be.Y]
+				if !isFloatish(tx.Type) && !isFloatish(ty.Type) {
+					return true
+				}
+				if isZeroConst(tx.Value) || isZeroConst(ty.Value) {
+					return true // exact sentinel against representable zero
+				}
+				if types.ExprString(be.X) == types.ExprString(be.Y) {
+					return true // x != x NaN test
+				}
+				p.reportf(be.OpPos, "floatcmp",
+					"exact %s between floating-point/complex values; compare against a tolerance instead", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isZeroConst(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

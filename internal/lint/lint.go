@@ -1,0 +1,237 @@
+// Package lint is rrslint: a project-specific static analysis suite
+// for this repository. It enforces invariants the compiler cannot see
+// but the paper's statistics depend on:
+//
+//	floatcmp   — no exact ==/!= between float or complex values
+//	parpolicy  — parallel fan-out only via internal/par
+//	seedrand   — math/rand only inside internal/rng (reproducibility)
+//	errdrop    — no discarded errors from this module's own APIs
+//	mapordered — no order-dependent work inside map iteration
+//
+// Any single finding can be silenced in source with a justification:
+//
+//	//lint:ignore <check>[,<check>...] <reason>
+//
+// placed on the offending line or the line directly above it. The
+// suite is stdlib-only (go/ast, go/parser, go/types) by design.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, addressed by module-relative file path.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Config selects what Run analyzes.
+type Config struct {
+	Root    string   // module root directory
+	ModPath string   // module path; read from Root/go.mod when empty
+	Dirs    []string // module-relative dirs ("x", "x/..."); nil = all
+	Checks  []string // check names to run; nil = all
+}
+
+// check is one registered analysis.
+type check struct {
+	name string
+	doc  string
+	run  func(*pass)
+}
+
+var allChecks = []check{
+	{"floatcmp", "exact ==/!= between floating-point or complex values", runFloatcmp},
+	{"parpolicy", "goroutine fan-out outside internal/par", runParpolicy},
+	{"seedrand", "math/rand usage outside internal/rng", runSeedrand},
+	{"errdrop", "discarded error results from module-internal APIs", runErrdrop},
+	{"mapordered", "order-dependent work inside map iteration", runMapordered},
+}
+
+// CheckNames lists every registered check with its one-line doc.
+func CheckNames() []string {
+	out := make([]string, len(allChecks))
+	for i, c := range allChecks {
+		out[i] = fmt.Sprintf("%-10s %s", c.name, c.doc)
+	}
+	return out
+}
+
+// pass is the per-unit state handed to each check.
+type pass struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	unit    *Unit
+	diags   *[]Diagnostic
+}
+
+// reportf records a finding at pos.
+func (p *pass) reportf(pos token.Pos, check, format string, args ...any) {
+	position := p.fset.Position(pos)
+	file := position.Filename
+	if rel, err := filepath.Rel(p.root, file); err == nil {
+		file = filepath.ToSlash(rel)
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   check,
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	m := regexp.MustCompile(`(?m)^module\s+(\S+)`).FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module directive in %s/go.mod", root)
+	}
+	return string(m[1]), nil
+}
+
+// Run loads every selected package and applies the selected checks,
+// returning surviving diagnostics sorted by position.
+func Run(cfg Config) ([]Diagnostic, error) {
+	modPath := cfg.ModPath
+	if modPath == "" {
+		var err error
+		if modPath, err = ModulePath(cfg.Root); err != nil {
+			return nil, err
+		}
+	}
+	selected, err := selectChecks(cfg.Checks)
+	if err != nil {
+		return nil, err
+	}
+	l, err := newLoader(cfg.Root, modPath)
+	if err != nil {
+		return nil, err
+	}
+	units, err := l.units(cfg.Dirs)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, u := range units {
+		p := &pass{fset: l.fset, root: l.root, modPath: modPath, unit: u, diags: &diags}
+		for _, c := range selected {
+			c.run(p)
+		}
+	}
+	diags = applyIgnores(l, units, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags, nil
+}
+
+func selectChecks(names []string) ([]check, error) {
+	if len(names) == 0 {
+		return allChecks, nil
+	}
+	var out []check
+	for _, name := range names {
+		found := false
+		for _, c := range allChecks {
+			if c.name == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown check %q", name)
+		}
+	}
+	return out, nil
+}
+
+// ignoreRe matches a well-formed directive: check name(s), then a
+// non-empty justification.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([\w,]+)\s+(\S.*)$`)
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	checks map[string]bool
+	line   int
+}
+
+// applyIgnores drops diagnostics suppressed by //lint:ignore
+// directives and reports malformed directives as findings of the
+// synthetic "directive" check, so silencing always carries a reason.
+func applyIgnores(l *loader, units []*Unit, diags []Diagnostic) []Diagnostic {
+	perFile := map[string][]ignoreDirective{}
+	var out []Diagnostic
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//lint:ignore") {
+						continue
+					}
+					pos := l.fset.Position(c.Pos())
+					file := pos.Filename
+					if rel, err := filepath.Rel(l.root, file); err == nil {
+						file = filepath.ToSlash(rel)
+					}
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						out = append(out, Diagnostic{
+							Check: "directive", File: file, Line: pos.Line, Col: pos.Column,
+							Message: "malformed directive: want //lint:ignore <check>[,<check>] <reason>",
+						})
+						continue
+					}
+					checks := map[string]bool{}
+					for _, name := range strings.Split(m[1], ",") {
+						checks[name] = true
+					}
+					perFile[file] = append(perFile[file], ignoreDirective{checks: checks, line: pos.Line})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range perFile[d.File] {
+			if ig.checks[d.Check] && (ig.line == d.Line || ig.line == d.Line-1) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

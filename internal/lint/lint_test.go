@@ -1,0 +1,154 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"roughsurface/internal/lint"
+)
+
+// fixtureRun lints one fixture directory with one check enabled and
+// returns findings as "file:line check" strings.
+func fixtureRun(t *testing.T, dir, check string) []string {
+	t.Helper()
+	diags, err := lint.Run(lint.Config{
+		Root:    "testdata/src/fixture",
+		ModPath: "fixture",
+		Dirs:    []string{dir + "/..."},
+		Checks:  []string{check},
+	})
+	if err != nil {
+		t.Fatalf("lint.Run(%s): %v", dir, err)
+	}
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = fmt.Sprintf("%s:%d %s", d.File, d.Line, d.Check)
+	}
+	return got
+}
+
+// TestChecks drives every check over a fixture package that violates
+// it, asserting the exact findings (and, via the clean fixture, the
+// absence of false positives).
+func TestChecks(t *testing.T) {
+	tests := []struct {
+		dir   string
+		check string
+		want  []string
+	}{
+		{"floatcmp", "floatcmp", []string{
+			"floatcmp/floatcmp.go:5 floatcmp",
+			"floatcmp/floatcmp.go:7 floatcmp",
+			"floatcmp/floatcmp.go:9 floatcmp",
+			"floatcmp/floatcmp.go:11 floatcmp",
+			"floatcmp/floatcmp.go:13 floatcmp",
+		}},
+		{"parpolicy", "parpolicy", []string{
+			"parpolicy/parpolicy.go:8 parpolicy",
+			"parpolicy/parpolicy.go:11 parpolicy",
+		}},
+		{"seedrand", "seedrand", []string{
+			"seedrand/seedrand.go:4 seedrand",
+		}},
+		{"errdrop", "errdrop", []string{
+			"errdrop/errdrop.go:12 errdrop",
+			"errdrop/errdrop.go:14 errdrop",
+			"errdrop/errdrop.go:16 errdrop",
+			"errdrop/errdrop.go:18 errdrop",
+		}},
+		{"mapordered", "mapordered", []string{
+			"mapordered/mapordered.go:12 mapordered",
+			"mapordered/mapordered.go:28 mapordered",
+		}},
+		{"ignore", "floatcmp", []string{
+			"ignore/ignore.go:16 floatcmp",
+			"ignore/ignore.go:20 directive",
+			"ignore/ignore.go:21 floatcmp",
+		}},
+		{"clean", "floatcmp", nil},
+		{"clean", "parpolicy", nil},
+		{"clean", "seedrand", nil},
+		{"clean", "errdrop", nil},
+		{"clean", "mapordered", nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.dir+"/"+tc.check, func(t *testing.T) {
+			got := fixtureRun(t, tc.dir, tc.check)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d findings %v, want %d %v", len(got), got, len(tc.want), tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("finding %d: got %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestAllChecksOnFixtureTree runs the full suite over the whole
+// fixture module at once: cross-check that selection by Dirs and
+// Checks was not hiding interference between checks.
+func TestAllChecksOnFixtureTree(t *testing.T) {
+	diags, err := lint.Run(lint.Config{
+		Root:    "testdata/src/fixture",
+		ModPath: "fixture",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCheck := map[string]int{}
+	for _, d := range diags {
+		perCheck[d.Check]++
+	}
+	want := map[string]int{
+		"floatcmp":   7, // 5 in floatcmp fixture + 2 unsilenced in ignore fixture
+		"parpolicy":  2,
+		"seedrand":   1,
+		"errdrop":    4,
+		"mapordered": 2,
+		"directive":  1,
+	}
+	for check, n := range want {
+		if perCheck[check] != n {
+			t.Errorf("check %s: got %d findings, want %d (all: %v)", check, perCheck[check], n, diags)
+		}
+	}
+	if len(diags) != 17 {
+		t.Errorf("total findings: got %d, want 17: %v", len(diags), diags)
+	}
+}
+
+// TestUnknownCheckRejected guards the CLI's -checks plumbing.
+func TestUnknownCheckRejected(t *testing.T) {
+	_, err := lint.Run(lint.Config{
+		Root:    "testdata/src/fixture",
+		ModPath: "fixture",
+		Checks:  []string{"nosuchcheck"},
+	})
+	if err == nil {
+		t.Fatal("unknown check name accepted")
+	}
+}
+
+// TestDiagnosticJSON pins the JSON shape the CI gate consumes.
+func TestDiagnosticJSON(t *testing.T) {
+	d := lint.Diagnostic{Check: "floatcmp", File: "a/b.go", Line: 3, Col: 7, Message: "m"}
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"check":"floatcmp","file":"a/b.go","line":3,"col":7,"message":"m"}`
+	if string(out) != want {
+		t.Errorf("got %s, want %s", out, want)
+	}
+}
+
+// TestCheckNames pins the registered suite.
+func TestCheckNames(t *testing.T) {
+	names := lint.CheckNames()
+	if len(names) != 5 {
+		t.Fatalf("got %d checks, want 5: %v", len(names), names)
+	}
+}

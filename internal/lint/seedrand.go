@@ -1,0 +1,27 @@
+package lint
+
+// seedrand: every random number in a generated surface must flow from
+// the seeded, splittable streams in internal/rng, or realizations stop
+// being reproducible and the tiled/streaming engines lose their
+// bit-identical-overlap guarantee. Importing math/rand (or v2)
+// anywhere else is flagged at the import site.
+
+import "strconv"
+
+func runSeedrand(p *pass) {
+	if p.unit.Dir == "internal/rng" {
+		return
+	}
+	for _, f := range p.unit.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.reportf(imp.Pos(), "seedrand",
+					"%s outside internal/rng; draw variates from internal/rng so seeds stay reproducible", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package clean is a lint fixture that every check must pass.
+package clean
+
+import (
+	"math"
+	"sort"
+)
+
+// Within reports |a-b| <= tol, the comparison style the linter wants.
+func Within(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// SortedKeys is the blessed deterministic map traversal.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,9 @@
+// Package api stands in for a module-internal API whose error results
+// must not be dropped.
+package api
+
+import "errors"
+
+func Do() error { return errors.New("boom") }
+
+func Make() (int, error) { return 0, errors.New("boom") }

@@ -1,0 +1,26 @@
+// Package errdrop is a lint fixture: discarded error results from a
+// module-internal API.
+package errdrop
+
+import (
+	"fmt"
+
+	"fixture/errdrop/api"
+)
+
+func Use() int {
+	api.Do() // want errdrop (statement drop)
+
+	v, _ := api.Make() // want errdrop (blank error)
+
+	_ = api.Do() // want errdrop (blank single)
+
+	defer api.Do() // want errdrop (defer drop)
+
+	w, err := api.Make() // ok: error handled
+	if err != nil {
+		return v
+	}
+	fmt.Println() // ok: not a module-internal API
+	return v + w
+}

@@ -1,0 +1,23 @@
+// Package floatcmp is a lint fixture: each flagged line deliberately
+// violates the floatcmp check; the rest exercise its carve-outs.
+package floatcmp
+
+func equalExact(a, b float64) bool { return a == b } // want floatcmp
+
+func notEqual(a, b float64) bool { return a != b } // want floatcmp
+
+func complexEqual(a, b complex128) bool { return a == b } // want floatcmp
+
+func literalCompare(a float64) bool { return a == 1.5 } // want floatcmp
+
+func float32Compare(a, b float32) bool { return a != b } // want floatcmp
+
+func zeroSentinel(a float64) bool { return a == 0 } // ok: exact zero sentinel
+
+func nanTest(a float64) bool { return a != a } // ok: NaN idiom
+
+func intEqual(a, b int) bool { return a == b } // ok: not floating point
+
+// almostEqual is an approved tolerance-helper name, so its exact
+// fast path is allowed.
+func almostEqual(a, b float64) bool { return a == b || a-b < 1e-12 && b-a < 1e-12 }

@@ -1,0 +1,39 @@
+// Package mapordered is a lint fixture: order-dependent work inside
+// map iteration.
+package mapordered
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want mapordered (append, never sorted)
+		out = append(out, k)
+	}
+	return out
+}
+
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m { // ok: collect-then-sort idiom
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m { // want mapordered (output in range)
+		fmt.Println(k, v)
+	}
+}
+
+func Sum(m map[string]int) int {
+	t := 0
+	for _, v := range m { // ok: order-independent reduction
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,23 @@
+// Package parpolicy is a lint fixture: raw goroutine fan-out that the
+// parpolicy check must flag.
+package parpolicy
+
+import "sync"
+
+func fanOut(n int, fn func(int)) {
+	var wg sync.WaitGroup // want parpolicy (WaitGroup)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) { // want parpolicy (go statement)
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func serial(n int, fn func(int)) { // ok: no fan-out
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

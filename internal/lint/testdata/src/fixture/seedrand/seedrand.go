@@ -1,0 +1,8 @@
+// Package seedrand is a lint fixture: math/rand outside internal/rng.
+package seedrand
+
+import "math/rand" // want seedrand
+
+// Sample draws from the unseeded global stream — exactly the
+// reproducibility hazard the check exists for.
+func Sample() float64 { return rand.Float64() }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/fft"
 	"roughsurface/internal/rng"
 )
@@ -237,7 +238,7 @@ func NewPiecewise(kernels []*Kernel, breaks []float64, t float64, seed uint64) (
 	}
 	gens := make([]*Generator, len(kernels))
 	for i, k := range kernels {
-		if k.Dx != dx {
+		if !approx.Exact(k.Dx, dx) {
 			return nil, fmt.Errorf("oned: kernel %d spacing %g differs from %g", i, k.Dx, dx)
 		}
 		gens[i] = NewGenerator(k, seed)

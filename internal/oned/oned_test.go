@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/fft"
 	"roughsurface/internal/rng"
 	"roughsurface/internal/stats"
@@ -57,7 +58,7 @@ func TestAutocorrelationProperties(t *testing.T) {
 		if got := s.Autocorrelation(0); math.Abs(got-h2) > 1e-9*h2 {
 			t.Errorf("%s: ρ(0) = %g want %g", s.Name(), got, h2)
 		}
-		if s.Autocorrelation(3) != s.Autocorrelation(-3) {
+		if !approx.Exact(s.Autocorrelation(3), s.Autocorrelation(-3)) {
 			t.Errorf("%s: ρ not even", s.Name())
 		}
 		prev := h2
@@ -158,7 +159,7 @@ func TestKernelTruncation(t *testing.T) {
 	if tr.Energy() < (1-1e-4)*full.Energy() {
 		t.Error("truncated energy below criterion")
 	}
-	if tr.Taps[tr.C] != full.Taps[full.C] {
+	if !approx.Exact(tr.Taps[tr.C], full.Taps[full.C]) {
 		t.Error("center tap moved")
 	}
 }
@@ -194,12 +195,15 @@ func TestGenerateStatistics(t *testing.T) {
 }
 
 func TestGenerateSeamless(t *testing.T) {
-	k, _ := DesignKernel(MustExponential(1, 6), 1, 8, 1e-4)
+	k, err := DesignKernel(MustExponential(1, 6), 1, 8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	g := NewGenerator(k, 11)
 	a := g.GenerateAt(0, 200)
 	b := g.GenerateAt(100, 200)
 	for i := 0; i < 100; i++ {
-		if a[100+i] != b[i] {
+		if !approx.Exact(a[100+i], b[i]) {
 			t.Fatalf("overlap mismatch at %d", i)
 		}
 	}
@@ -220,7 +224,10 @@ func TestDirectDFTStatistics(t *testing.T) {
 }
 
 func TestPiecewiseValidation(t *testing.T) {
-	k, _ := DesignKernel(MustGaussian(1, 5), 1, 6, 1e-3)
+	k, err := DesignKernel(MustGaussian(1, 5), 1, 6, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := NewPiecewise(nil, nil, 5, 1); err == nil {
 		t.Error("no kernels accepted")
 	}
@@ -236,8 +243,14 @@ func TestPiecewiseValidation(t *testing.T) {
 }
 
 func TestPiecewiseRegionsAndTransition(t *testing.T) {
-	calm, _ := DesignKernel(MustGaussian(0.3, 5), 1, 8, 1e-4)
-	rough, _ := DesignKernel(MustGaussian(3.0, 5), 1, 8, 1e-4)
+	calm, err := DesignKernel(MustGaussian(0.3, 5), 1, 8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rough, err := DesignKernel(MustGaussian(3.0, 5), 1, 8, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := NewPiecewise([]*Kernel{calm, rough}, []float64{0}, 20, 13)
 	if err != nil {
 		t.Fatal(err)
@@ -260,13 +273,13 @@ func TestPiecewiseRegionsAndTransition(t *testing.T) {
 		t.Errorf("transition std %g not between %g and %g", sm, sl, sr)
 	}
 	// Weight sanity.
-	if w := p.weight(0, -100); w != 1 {
+	if w := p.weight(0, -100); !approx.Exact(w, 1) {
 		t.Errorf("deep-left weight %g", w)
 	}
-	if w := p.weight(0, 0); w != 0.5 {
+	if w := p.weight(0, 0); !approx.Exact(w, 0.5) {
 		t.Errorf("break weight %g want 0.5", w)
 	}
-	if w := p.weight(1, 100); w != 1 {
+	if w := p.weight(1, 100); !approx.Exact(w, 1) {
 		t.Errorf("deep-right weight %g", w)
 	}
 }

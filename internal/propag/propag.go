@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/grid"
 )
 
@@ -51,10 +52,10 @@ func Bilinear(g *grid.Grid, x, y float64) (float64, error) {
 	iy := int(math.Floor(fy))
 	if ix < 0 || iy < 0 || ix >= g.Nx-1 || iy >= g.Ny-1 {
 		// Tolerate exact upper-edge hits.
-		if ix == g.Nx-1 && fx == float64(ix) {
+		if ix == g.Nx-1 && approx.Exact(fx, float64(ix)) {
 			ix--
 		}
-		if iy == g.Ny-1 && fy == float64(iy) {
+		if iy == g.Ny-1 && approx.Exact(fy, float64(iy)) {
 			iy--
 		}
 		if ix < 0 || iy < 0 || ix >= g.Nx-1 || iy >= g.Ny-1 {

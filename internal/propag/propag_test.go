@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/grid"
 	"roughsurface/internal/spectrum"
@@ -55,7 +56,7 @@ func TestProfileGeometry(t *testing.T) {
 		t.Errorf("distance endpoints %g..%g", d[0], d[20])
 	}
 	for _, v := range h {
-		if v != 1.5 {
+		if !approx.Exact(v, 1.5) {
 			t.Fatal("flat profile should be constant")
 		}
 	}
@@ -134,7 +135,7 @@ func TestPathLossFlatTerrainIsFreeSpace(t *testing.T) {
 	if math.Abs(b.FreeSpaceDB-FreeSpaceLossDB(200, 0.125)) > 1e-9 {
 		t.Errorf("free-space term %g", b.FreeSpaceDB)
 	}
-	if b.TotalDB != b.FreeSpaceDB+b.DiffractionDB {
+	if !approx.Exact(b.TotalDB, b.FreeSpaceDB+b.DiffractionDB) {
 		t.Error("total inconsistent")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/fft"
 	"roughsurface/internal/rng"
 	"roughsurface/internal/stats"
@@ -60,7 +61,7 @@ func TestDeterministicForSeed(t *testing.T) {
 	a := Hermitian(16, 16, rng.NewGaussian(7))
 	b := Hermitian(16, 16, rng.NewGaussian(7))
 	for i := range a.Data {
-		if a.Data[i] != b.Data[i] {
+		if !approx.ExactC(a.Data[i], b.Data[i]) {
 			t.Fatal("same seed produced different arrays")
 		}
 	}

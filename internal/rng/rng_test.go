@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"roughsurface/internal/approx"
 )
 
 func TestSourceDeterministic(t *testing.T) {
@@ -135,7 +137,7 @@ func TestFieldDeterministicAndOrderFree(t *testing.T) {
 	f := NewField(123)
 	a := f.At(1000, -500)
 	b := f.At(-3, 7)
-	if f.At(1000, -500) != a || f.At(-3, 7) != b {
+	if !approx.Exact(f.At(1000, -500), a) || !approx.Exact(f.At(-3, 7), b) {
 		t.Error("Field.At is not a pure function")
 	}
 	// Same window, filled in two halves vs at once.
@@ -146,10 +148,10 @@ func TestFieldDeterministicAndOrderFree(t *testing.T) {
 	f.FillRect(top, 10, 20, 8, 4)
 	f.FillRect(bot, 10, 24, 8, 4)
 	for i := range top {
-		if whole[i] != top[i] {
+		if !approx.Exact(whole[i], top[i]) {
 			t.Fatal("FillRect top half mismatch")
 		}
-		if whole[32+i] != bot[i] {
+		if !approx.Exact(whole[32+i], bot[i]) {
 			t.Fatal("FillRect bottom half mismatch")
 		}
 	}
@@ -218,7 +220,7 @@ func TestQuickFieldPure(t *testing.T) {
 	f := func(seed uint64, i, j int64) bool {
 		fl := NewField(seed)
 		v := fl.At(i, j)
-		return fl.At(i, j) == v && !math.IsNaN(v) && !math.IsInf(v, 0)
+		return approx.Exact(fl.At(i, j), v) && !math.IsNaN(v) && !math.IsInf(v, 0)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

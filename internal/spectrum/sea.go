@@ -3,6 +3,8 @@ package spectrum
 import (
 	"fmt"
 	"math"
+
+	"roughsurface/internal/approx"
 )
 
 // Sea is an isotropic fully-developed wind-sea spectrum of the
@@ -69,7 +71,7 @@ func NewSea(u, g float64) (*Sea, error) {
 	for i := 1; i < len(s.rho); i++ {
 		if s.rho[i] <= target {
 			frac := 0.0
-			if s.rho[i-1] != s.rho[i] {
+			if !approx.Exact(s.rho[i-1], s.rho[i]) {
 				frac = (s.rho[i-1] - target) / (s.rho[i-1] - s.rho[i])
 			}
 			s.clEst = (float64(i-1) + frac) * s.dr

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/fft"
 )
 
@@ -99,7 +100,7 @@ func TestSeaAutocorrelationOscillates(t *testing.T) {
 func TestSeaCorrelationLengthScale(t *testing.T) {
 	s := testSea(t)
 	clx, cly := s.CorrelationLengths()
-	if clx != cly {
+	if !approx.Exact(clx, cly) {
 		t.Error("isotropic spectrum reported anisotropic cl")
 	}
 	lambda := s.PeakWavelength() // 16.0 m at U=5

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/fft"
 	"roughsurface/internal/grid"
 )
@@ -261,13 +262,13 @@ func TestWeightDFTMatchesAutocorrelation(t *testing.T) {
 func TestAutocorrelationGridLagOrdering(t *testing.T) {
 	s := MustGaussian(1, 5, 5)
 	g := AutocorrelationGrid(s, 16, 16, 2, 2)
-	if g.At(0, 0) != s.Autocorrelation(0, 0) {
+	if !approx.Exact(g.At(0, 0), s.Autocorrelation(0, 0)) {
 		t.Error("lag (0,0) misplaced")
 	}
-	if g.At(3, 0) != s.Autocorrelation(6, 0) {
+	if !approx.Exact(g.At(3, 0), s.Autocorrelation(6, 0)) {
 		t.Error("positive lag misplaced")
 	}
-	if g.At(13, 0) != s.Autocorrelation(6, 0) { // bin 13 folds to lag 3 → x=6
+	if !approx.Exact(g.At(13, 0), s.Autocorrelation(6, 0)) { // bin 13 folds to lag 3 → x=6
 		t.Error("wrapped negative lag misplaced")
 	}
 }
@@ -282,7 +283,7 @@ func TestNames(t *testing.T) {
 	if MustExponential(1, 1, 1).Name() != "exponential" {
 		t.Error("exponential name")
 	}
-	if MustPowerLaw(1, 1, 1, 2.5).Order() != 2.5 {
+	if !approx.Exact(MustPowerLaw(1, 1, 1, 2.5).Order(), 2.5) {
 		t.Error("Order")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/rng"
 )
 
@@ -27,7 +28,7 @@ func TestAccumulatorMatchesDescribe(t *testing.T) {
 		t.Errorf("variance %g vs %g", a.Variance(), d.Variance)
 	}
 	min, max := a.MinMax()
-	if min != d.Min || max != d.Max {
+	if !approx.Exact(min, d.Min) || !approx.Exact(max, d.Max) {
 		t.Errorf("extrema (%g,%g) vs (%g,%g)", min, max, d.Min, d.Max)
 	}
 }
@@ -38,7 +39,7 @@ func TestAccumulatorEmptyAndSingle(t *testing.T) {
 		t.Error("empty accumulator not zeroed")
 	}
 	a.Add(5)
-	if a.Mean() != 5 || a.Variance() != 0 {
+	if !approx.Exact(a.Mean(), 5) || a.Variance() != 0 {
 		t.Errorf("single sample: mean %g var %g", a.Mean(), a.Variance())
 	}
 }
@@ -65,7 +66,7 @@ func TestAccumulatorMergeEqualsSequential(t *testing.T) {
 	}
 	lmin, lmax := left.MinMax()
 	wmin, wmax := whole.MinMax()
-	if lmin != wmin || lmax != wmax {
+	if !approx.Exact(lmin, wmin) || !approx.Exact(lmax, wmax) {
 		t.Error("merged extrema differ")
 	}
 }
@@ -79,7 +80,7 @@ func TestAccumulatorMergeEdges(t *testing.T) {
 		t.Error("merging empty changed state")
 	}
 	empty.Merge(&full)
-	if empty.N() != 3 || empty.Mean() != 2 {
+	if empty.N() != 3 || !approx.Exact(empty.Mean(), 2) {
 		t.Errorf("merge into empty: n=%d mean=%g", empty.N(), empty.Mean())
 	}
 }

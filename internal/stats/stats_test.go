@@ -4,22 +4,23 @@ import (
 	"math"
 	"testing"
 
+	"roughsurface/internal/approx"
 	"roughsurface/internal/grid"
 	"roughsurface/internal/rng"
 )
 
 func TestDescribeKnownValues(t *testing.T) {
 	s := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
-	if s.Mean != 5 {
+	if !approx.Exact(s.Mean, 5) {
 		t.Errorf("mean %g", s.Mean)
 	}
-	if s.Variance != 4 {
+	if !approx.Exact(s.Variance, 4) {
 		t.Errorf("variance %g", s.Variance)
 	}
-	if s.Std != 2 {
+	if !approx.Exact(s.Std, 2) {
 		t.Errorf("std %g", s.Std)
 	}
-	if s.Min != 2 || s.Max != 9 {
+	if !approx.Exact(s.Min, 2) || !approx.Exact(s.Max, 9) {
 		t.Errorf("min/max %g/%g", s.Min, s.Max)
 	}
 }
@@ -55,7 +56,7 @@ func TestDescribePanicsOnEmpty(t *testing.T) {
 func TestRMSEAndMaxAbs(t *testing.T) {
 	a := []float64{1, 2, 3}
 	b := []float64{1, 2, 7}
-	if got := MaxAbs(a, b); got != 4 {
+	if got := MaxAbs(a, b); !approx.Exact(got, 4) {
 		t.Errorf("MaxAbs %g", got)
 	}
 	want := math.Sqrt(16.0 / 3)
@@ -169,10 +170,10 @@ func TestLagProfiles(t *testing.T) {
 	if len(py) != 16 {
 		t.Errorf("LagProfileY length %d", len(py))
 	}
-	if px[0] != cov.At(0, 0) || py[0] != cov.At(0, 0) {
+	if !approx.Exact(px[0], cov.At(0, 0)) || !approx.Exact(py[0], cov.At(0, 0)) {
 		t.Error("profiles must start at zero lag")
 	}
-	if px[3] != cov.At(3, 0) || py[2] != cov.At(0, 2) {
+	if !approx.Exact(px[3], cov.At(3, 0)) || !approx.Exact(py[2], cov.At(0, 2)) {
 		t.Error("profile entries misordered")
 	}
 }
@@ -194,7 +195,7 @@ func TestCorrelationLengthExactExponential(t *testing.T) {
 
 func TestCorrelationLengthNeverDecays(t *testing.T) {
 	profile := []float64{1, 0.99, 0.98, 0.97}
-	if cl := CorrelationLength(profile, 1); cl != 3 {
+	if cl := CorrelationLength(profile, 1); !approx.Exact(cl, 3) {
 		t.Errorf("non-decaying profile should return window edge, got %g", cl)
 	}
 }

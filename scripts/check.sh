@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# check.sh — the repository's verification gate. CI runs exactly this
+# script; run it locally before pushing. It chains:
+#   build → gofmt → go vet → rrslint → tests → race tests → fuzz smoke.
+# FUZZTIME (default 10s) bounds each fuzz target; set FUZZTIME=0 to
+# skip the fuzz smoke entirely (e.g. on very slow machines).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== build"
+go build ./...
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== rrslint"
+go run ./cmd/rrslint ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages)"
+go test -race ./internal/par ./internal/fft ./internal/convgen ./internal/inhomo
+
+if [[ "$FUZZTIME" != "0" ]]; then
+    echo "== fuzz smoke ($FUZZTIME each)"
+    go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/grid
+    go test -run='^$' -fuzz=FuzzParseScene -fuzztime="$FUZZTIME" ./internal/core
+fi
+
+echo "== all checks passed"
