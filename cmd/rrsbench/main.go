@@ -1,0 +1,201 @@
+// Command rrsbench converts `go test -bench` output into the repository's
+// machine-readable benchmark record (BENCH_<date>.json): one entry per
+// benchmark with ns/op, B/op, allocs/op, and any custom metrics
+// (samples/s, relHerr, ...), aggregated over -count repetitions as mean
+// and best. scripts/bench.sh is the canonical driver; the JSON files it
+// emits are committed so the perf trajectory of the repo is diffable.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem -count=3 . | rrsbench -o BENCH_2026-08-05.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Stat aggregates one metric over the repetitions of a benchmark.
+type Stat struct {
+	Mean float64 `json:"mean"`
+	Best float64 `json:"best"` // min over runs (max for rate metrics like samples/s)
+}
+
+// Entry is the JSON record for one benchmark name.
+type Entry struct {
+	Name    string          `json:"name"`
+	Runs    int             `json:"runs"`
+	Iters   int             `json:"iters"` // total b.N across runs
+	NsPerOp *Stat           `json:"ns_per_op,omitempty"`
+	BPerOp  *Stat           `json:"bytes_per_op,omitempty"`
+	Allocs  *Stat           `json:"allocs_per_op,omitempty"`
+	Metrics map[string]Stat `json:"metrics,omitempty"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos       string  `json:"goos,omitempty"`
+	Goarch     string  `json:"goarch,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
+	Pkg        string  `json:"pkg,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^Benchmark(\S+)\s+(\d+)\s+(.+)$`)
+
+// cpuSuffix is the -GOMAXPROCS suffix go test appends to benchmark names.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// rateMetric reports whether higher values of the unit are better, so
+// Best keeps the max instead of the min.
+func rateMetric(unit string) bool {
+	return strings.Contains(unit, "/s") || strings.HasSuffix(unit, "/sec")
+}
+
+type accum struct {
+	runs  int
+	iters int
+	vals  map[string][]float64 // unit -> one value per run
+}
+
+// Parse reads `go test -bench` output and builds the report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	acc := map[string]*accum{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(m[1], "")
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("rrsbench: bad iteration count in %q: %v", line, err)
+		}
+		a := acc[name]
+		if a == nil {
+			a = &accum{vals: map[string][]float64{}}
+			acc[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.iters += iters
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("rrsbench: bad metric value in %q: %v", line, err)
+			}
+			a.vals[fields[i+1]] = append(a.vals[fields[i+1]], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		a := acc[name]
+		e := Entry{Name: name, Runs: a.runs, Iters: a.iters}
+		units := make([]string, 0, len(a.vals))
+		for u := range a.vals {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			s := stat(a.vals[u], rateMetric(u))
+			switch u {
+			case "ns/op":
+				e.NsPerOp = &s
+			case "B/op":
+				e.BPerOp = &s
+			case "allocs/op":
+				e.Allocs = &s
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]Stat{}
+				}
+				e.Metrics[u] = s
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	return rep, nil
+}
+
+func stat(vals []float64, higherBetter bool) Stat {
+	var sum float64
+	best := vals[0]
+	for _, v := range vals {
+		sum += v
+		if (higherBetter && v > best) || (!higherBetter && v < best) {
+			best = v
+		}
+	}
+	return Stat{Mean: sum / float64(len(vals)), Best: best}
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "rrsbench: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	if _, err := w.Write(buf); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"roughsurface/internal/approx"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: roughsurface
+cpu: Fake CPU @ 2.00GHz
+BenchmarkConvVsDFT/conv-fft-8         	      10	 105338398 ns/op	22601353 B/op	     233 allocs/op
+BenchmarkConvVsDFT/conv-fft-8         	      12	  95338398 ns/op	22601353 B/op	     231 allocs/op
+BenchmarkStreaming                    	      50	  20000000 ns/op	 1638400 samples/s	 7340032 B/op	      40 allocs/op
+PASS
+ok  	roughsurface	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "roughsurface" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+
+	// Sorted by name: ConvVsDFT/conv-fft first.
+	cf := rep.Benchmarks[0]
+	if cf.Name != "ConvVsDFT/conv-fft" {
+		t.Errorf("name = %q (cpu suffix should be stripped)", cf.Name)
+	}
+	if cf.Runs != 2 || cf.Iters != 22 {
+		t.Errorf("runs=%d iters=%d, want 2/22", cf.Runs, cf.Iters)
+	}
+	if cf.NsPerOp == nil || !approx.Equal(cf.NsPerOp.Best, 95338398, 1e-9) {
+		t.Errorf("ns/op best = %+v", cf.NsPerOp)
+	}
+	if cf.NsPerOp == nil || !approx.Equal(cf.NsPerOp.Mean, (105338398+95338398)/2.0, 1e-9) {
+		t.Errorf("ns/op mean = %+v", cf.NsPerOp)
+	}
+	if cf.Allocs == nil || !approx.Equal(cf.Allocs.Best, 231, 1e-12) {
+		t.Errorf("allocs/op = %+v", cf.Allocs)
+	}
+
+	st := rep.Benchmarks[1]
+	if st.Name != "Streaming" {
+		t.Errorf("name = %q (no cpu suffix to strip)", st.Name)
+	}
+	s, ok := st.Metrics["samples/s"]
+	if !ok {
+		t.Fatalf("custom metric missing: %+v", st.Metrics)
+	}
+	// Rate metric: best is the max.
+	if !approx.Equal(s.Best, 1638400, 1e-12) {
+		t.Errorf("samples/s best = %g", s.Best)
+	}
+}
+
+func TestParseRejectsGarbageMetric(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-4 10 nope ns/op\n"))
+	if err == nil {
+		t.Error("want error on unparsable metric value")
+	}
+}

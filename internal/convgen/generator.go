@@ -20,8 +20,8 @@ const (
 	// sum per output sample. O(outputs × taps).
 	EngineDirect
 	// EngineFFT computes the identical linear correlation through padded
-	// FFTs. O(N log N); bit-exact determinism with EngineDirect is not
-	// guaranteed but agreement is to ~1e-10.
+	// real-input FFTs. O(N log N); bit-exact determinism with
+	// EngineDirect is not guaranteed but agreement is to ~1e-10.
 	EngineFFT
 )
 
@@ -34,6 +34,12 @@ const directCostLimit = 1 << 27
 // function of (seed, lattice point), any window at any offset can be
 // generated independently — overlapping windows agree exactly, which is
 // what makes strip-by-strip generation of unbounded surfaces seamless.
+//
+// A Generator is safe for concurrent use: per-call scratch comes from an
+// internal pool, and the kernel-spectrum cache is locked. Returned grids
+// are caller-owned; scratch is never shared with them. In steady state —
+// streaming strips, fixed-size tiles — a Generate call allocates only
+// the returned grid.
 type Generator struct {
 	kernel *Kernel
 	field  rng.Field
@@ -43,16 +49,48 @@ type Generator struct {
 	// Engine selects the convolution path (default EngineAuto).
 	Engine Engine
 
-	// tapsHat caches the padded kernel spectrum per FFT size: streaming
-	// and tiled workloads re-enter convolveFFT with the same geometry,
-	// and the kernel never changes.
-	mu      sync.Mutex
-	tapsHat map[[2]int][]complex128
+	// tapsHat caches the half-spectrum of the zero-padded kernel per
+	// FFT size: streaming and tiled workloads re-enter convolveFFT with
+	// the same geometry, and the kernel never changes. Bounded (small
+	// LRU) so mixed-size tiled workloads cannot grow it without limit.
+	tapsHat tapsCache
+
+	// arenas pools the per-call scratch buffers (noise window, padded
+	// real workspace, half-spectrum). A pool rather than one owned
+	// buffer keeps concurrent GenerateAt calls on a shared Generator
+	// correct while still reaching zero steady-state allocations.
+	arenas sync.Pool
+}
+
+// genArena is one call's worth of scratch. Buffers grow to the largest
+// geometry seen and are reused across calls.
+type genArena struct {
+	noise []float64    // direct engine: wx×wy noise window
+	pad   []float64    // fft engine: px×py padded real workspace
+	spec  []complex128 // fft engine: (px/2+1)×py half-spectrum
+}
+
+// growF returns buf resliced to n, reallocating only when capacity is
+// insufficient.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
+}
+
+func growC(buf []complex128, n int) []complex128 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]complex128, n)
 }
 
 // NewGenerator wraps a kernel and a noise field seed.
 func NewGenerator(k *Kernel, seed uint64) *Generator {
-	return &Generator{kernel: k, field: rng.NewField(seed), tapsHat: map[[2]int][]complex128{}}
+	g := &Generator{kernel: k, field: rng.NewField(seed)}
+	g.arenas.New = func() any { return &genArena{} }
+	return g
 }
 
 // Kernel exposes the generator's kernel (shared, not copied).
@@ -61,28 +99,25 @@ func (g *Generator) Kernel() *Kernel { return g.kernel }
 // GenerateAt materializes the surface window whose lower corner is
 // lattice point (i0, j0), of nx×ny samples. Sample (i, j) of the result
 // is the surface value at lattice point (i0+i, j0+j); physical
-// coordinates are lattice × spacing.
+// coordinates are lattice × spacing. The returned grid is caller-owned.
 func (g *Generator) GenerateAt(i0, j0 int64, nx, ny int) *grid.Grid {
 	if nx < 1 || ny < 1 {
 		panic(fmt.Sprintf("convgen: invalid window %dx%d", nx, ny))
 	}
 	k := g.kernel
-	wx := nx + k.Nx - 1
-	wy := ny + k.Ny - 1
-	noise := make([]float64, wx*wy)
-	g.fillNoise(noise, i0-int64(k.CX), j0-int64(k.CY), wx, wy)
-
 	out := grid.New(nx, ny)
 	out.Dx, out.Dy = k.Dx, k.Dy
 	out.X0 = float64(i0) * k.Dx
 	out.Y0 = float64(j0) * k.Dy
 
+	ar := g.arenas.Get().(*genArena)
 	switch g.engineFor(nx, ny) {
 	case EngineDirect:
-		g.convolveDirect(out, noise, wx)
+		g.convolveDirect(out, ar, i0, j0)
 	case EngineFFT:
-		g.convolveFFT(out, noise, wx, wy)
+		g.convolveFFT(out, ar, i0, j0)
 	}
+	g.arenas.Put(ar)
 	return out
 }
 
@@ -104,22 +139,26 @@ func (g *Generator) engineFor(nx, ny int) Engine {
 	return EngineFFT
 }
 
-func (g *Generator) fillNoise(dst []float64, i0, j0 int64, wx, wy int) {
+// fillNoise materializes the noise window [i0, i0+wx) × [j0, j0+wy)
+// into rows of dst at the given stride.
+func (g *Generator) fillNoise(dst []float64, i0, j0 int64, wx, wy, stride int) {
 	par.For(wy, g.Workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			row := dst[j*wx : (j+1)*wx]
-			for i := range row {
-				row[i] = g.field.At(i0+int64(i), j0+int64(j))
-			}
+			g.field.FillRow(dst[j*stride:j*stride+wx], i0, j0+int64(j))
 		}
 	})
 }
 
 // convolveDirect evaluates f(i,j) = Σ_{a,b} taps[b][a]·X(i+a−cx, j+b−cy);
-// the noise window is already offset by (−cx, −cy), so the inner
-// expression indexes noise at (i+a, j+b).
-func (g *Generator) convolveDirect(out *grid.Grid, noise []float64, wx int) {
+// the noise window is offset by (−cx, −cy), so the inner expression
+// indexes noise at (i+a, j+b).
+func (g *Generator) convolveDirect(out *grid.Grid, ar *genArena, i0, j0 int64) {
 	k := g.kernel
+	wx := out.Nx + k.Nx - 1
+	wy := out.Ny + k.Ny - 1
+	ar.noise = growF(ar.noise, wx*wy)
+	noise := ar.noise
+	g.fillNoise(noise, i0-int64(k.CX), j0-int64(k.CY), wx, wy, wx)
 	par.For(out.Ny, g.Workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			dstRow := out.Data[j*out.Nx : (j+1)*out.Nx]
@@ -138,67 +177,141 @@ func (g *Generator) convolveDirect(out *grid.Grid, noise []float64, wx int) {
 	})
 }
 
-// convolveFFT computes the same linear correlation with padded FFTs:
-// corr = IFFT(FFT(noise)·conj(FFT(taps))) evaluated on the valid region.
-// The padded size per axis is the next power of two at or above the
-// noise window, which is always at least output+kernel−1, so no circular
-// wrap reaches the extracted samples. The kernel spectrum is cached per
-// padded size; on a cold cache both real inputs share one complex
-// transform (fft.ForwardRealPair).
-func (g *Generator) convolveFFT(out *grid.Grid, noise []float64, wx, wy int) {
+// convolveFFT computes the same linear correlation with padded
+// real-input FFTs: corr = IRFFT(RFFT(noise)·conj(RFFT(taps))) evaluated
+// on the valid region. Both spectra are Hermitian (real inputs), so the
+// whole pipeline runs on nx/2+1 bins per row — about half the
+// arithmetic and memory traffic of the complex route. The padded size
+// per axis is the next power of two at or above the noise window, which
+// is always at least output+kernel−1, so no circular wrap reaches the
+// extracted samples. The kernel half-spectrum is cached per padded
+// size; plans come from the worker-keyed process cache, so steady state
+// builds no tables and allocates nothing beyond the output grid.
+func (g *Generator) convolveFFT(out *grid.Grid, ar *genArena, i0, j0 int64) {
 	k := g.kernel
+	wx := out.Nx + k.Nx - 1
+	wy := out.Ny + k.Ny - 1
 	px := nextPow2(wx)
 	py := nextPow2(wy)
-	var plan *fft.Plan2D
-	if g.Workers == 0 {
-		var err error
-		plan, err = fft.CachedPlan2D(px, py)
-		if err != nil {
-			panic(err)
-		}
-	} else {
-		plan = fft.MustPlan2D(px, py)
-		plan.Workers = g.Workers
+	plan, err := fft.CachedPlan2DWorkers(px, py, g.Workers)
+	if err != nil {
+		panic(err)
 	}
+	hx := plan.HalfNx()
+	ar.pad = growF(ar.pad, px*py)
+	ar.spec = growC(ar.spec, hx*py)
+	pad, spec := ar.pad, ar.spec
 
-	noisePad := make([]float64, px*py)
-	for j := 0; j < wy; j++ {
-		copy(noisePad[j*px:j*px+wx], noise[j*wx:(j+1)*wx])
-	}
-	nz := make([]complex128, px*py)
-
-	g.mu.Lock()
-	tHat, ok := g.tapsHat[[2]int{px, py}]
-	g.mu.Unlock()
-	if ok {
-		for i, v := range noisePad {
-			nz[i] = complex(v, 0)
-		}
-		plan.Forward(nz)
-	} else {
-		tapsPad := make([]float64, px*py)
-		for b := 0; b < k.Ny; b++ {
-			for a := 0; a < k.Nx; a++ {
-				tapsPad[b*px+a] = k.At(a, b)
+	// Noise rows go straight into the padded workspace; the padding is
+	// re-zeroed because the arena still holds the previous call's
+	// inverse output.
+	par.For(py, g.Workers, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := pad[j*px : (j+1)*px]
+			if j < wy {
+				g.field.FillRow(row[:wx], i0-int64(k.CX), j0-int64(k.CY)+int64(j))
+				clear(row[wx:])
+			} else {
+				clear(row)
 			}
 		}
-		tHat = make([]complex128, px*py)
-		plan.ForwardRealPair(noisePad, tapsPad, nz, tHat)
-		g.mu.Lock()
-		g.tapsHat[[2]int{px, py}] = tHat
-		g.mu.Unlock()
-	}
+	})
 
-	for i := range nz {
-		t := tHat[i]
-		nz[i] *= complex(real(t), -imag(t))
-	}
-	plan.Inverse(nz)
+	plan.ForwardReal(spec, pad)
+	tHat := g.cachedTapsHat(plan, px, py)
+	par.For(len(spec), g.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := tHat[i]
+			spec[i] *= complex(real(t), -imag(t))
+		}
+	})
+	plan.InverseRealTo(pad, spec)
 	for j := 0; j < out.Ny; j++ {
-		for i := 0; i < out.Nx; i++ {
-			out.Data[j*out.Nx+i] = real(nz[j*px+i])
+		copy(out.Data[j*out.Nx:(j+1)*out.Nx], pad[j*px:j*px+out.Nx])
+	}
+}
+
+// cachedTapsHat returns the half-spectrum of the kernel zero-padded to
+// px×py, computing and caching it on first use for that size.
+func (g *Generator) cachedTapsHat(plan *fft.Plan2D, px, py int) []complex128 {
+	key := [2]int{px, py}
+	if hat := g.tapsHat.get(key); hat != nil {
+		return hat
+	}
+	k := g.kernel
+	pad := make([]float64, px*py)
+	for b := 0; b < k.Ny; b++ {
+		copy(pad[b*px:b*px+k.Nx], k.Taps[b*k.Nx:(b+1)*k.Nx])
+	}
+	hat := make([]complex128, plan.HalfNx()*py)
+	plan.ForwardReal(hat, pad)
+	g.tapsHat.put(key, hat)
+	return hat
+}
+
+// tapsCacheSize bounds the kernel-spectrum LRU. Streaming and
+// fixed-tile workloads live on one entry; mixed-size tile mosaics cycle
+// a handful. Recomputing an evicted entry costs one forward transform,
+// so a small bound is the right trade against unbounded growth.
+const tapsCacheSize = 4
+
+type tapsEntry struct {
+	key  [2]int
+	hat  []complex128
+	used uint64
+}
+
+// tapsCache is a locked fixed-capacity LRU keyed by padded FFT size.
+type tapsCache struct {
+	mu      sync.Mutex
+	tick    uint64
+	entries []tapsEntry
+}
+
+func (c *tapsCache) get(key [2]int) []complex128 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.entries {
+		if c.entries[i].key == key {
+			c.tick++
+			c.entries[i].used = c.tick
+			return c.entries[i].hat
 		}
 	}
+	return nil
+}
+
+func (c *tapsCache) put(key [2]int, hat []complex128) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tick++
+	for i := range c.entries {
+		if c.entries[i].key == key {
+			// A concurrent call computed the same spectrum; keep ours
+			// fresh but do not grow the cache.
+			c.entries[i].hat = hat
+			c.entries[i].used = c.tick
+			return
+		}
+	}
+	if len(c.entries) < tapsCacheSize {
+		c.entries = append(c.entries, tapsEntry{key: key, hat: hat, used: c.tick})
+		return
+	}
+	evict := 0
+	for i := 1; i < len(c.entries); i++ {
+		if c.entries[i].used < c.entries[evict].used {
+			evict = i
+		}
+	}
+	c.entries[evict] = tapsEntry{key: key, hat: hat, used: c.tick}
+}
+
+// len reports the number of cached spectra (test hook).
+func (c *tapsCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
 }
 
 // Streamer generates an unbounded-in-y surface as successive strips of

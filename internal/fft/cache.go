@@ -11,7 +11,7 @@ import "sync"
 // cached instance can serve all goroutines.
 var (
 	planCache   sync.Map // int -> *Plan
-	plan2DCache sync.Map // [2]int -> *Plan2D
+	plan2DCache sync.Map // [3]int{nx, ny, workers} -> *Plan2D
 )
 
 // CachedPlan returns the shared plan for length n, building it on first
@@ -28,12 +28,26 @@ func CachedPlan(n int) (*Plan, error) {
 	return actual.(*Plan), nil
 }
 
-// CachedPlan2D returns the shared 2D plan for nx×ny, building it on
-// first use. The returned plan's Workers field is shared state: callers
-// needing a non-default worker bound should construct their own plan
-// with NewPlan2D instead of mutating the cached one.
+// CachedPlan2D returns the shared 2D plan for nx×ny with the default
+// worker bound, building it on first use. The returned plan is shared:
+// callers needing a non-default worker bound must use
+// CachedPlan2DWorkers rather than mutating the Workers field.
 func CachedPlan2D(nx, ny int) (*Plan2D, error) {
-	key := [2]int{nx, ny}
+	return CachedPlan2DWorkers(nx, ny, 0)
+}
+
+// CachedPlan2DWorkers returns the shared 2D plan for nx×ny whose
+// Workers field is pinned to the given bound. Plans are cached per
+// (nx, ny, workers) triple so callers with an explicit parallelism
+// policy (e.g. generators with Workers set) stop rebuilding twiddle and
+// bit-reversal tables on every transform; the underlying 1D sub-plans
+// are shared across all worker bounds regardless, so an extra cache
+// entry costs only the Plan2D header and its buffer pool.
+func CachedPlan2DWorkers(nx, ny, workers int) (*Plan2D, error) {
+	if workers < 0 {
+		workers = 0
+	}
+	key := [3]int{nx, ny, workers}
 	if v, ok := plan2DCache.Load(key); ok {
 		return v.(*Plan2D), nil
 	}
@@ -41,6 +55,7 @@ func CachedPlan2D(nx, ny int) (*Plan2D, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.Workers = workers
 	actual, _ := plan2DCache.LoadOrStore(key, p)
 	return actual.(*Plan2D), nil
 }

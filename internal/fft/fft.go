@@ -30,6 +30,9 @@ type Plan struct {
 	twidInv []complex128 // conjugate table, so the hot loop never branches
 	blu     *bluestein   // non power-of-two path
 	scratch sync.Pool    // []complex128 of length n for out-of-place calls
+
+	realOnce sync.Once // guards rfft construction (see realfft.go)
+	rfft     *realFFT  // packed real-input path; nil when not applicable
 }
 
 // NewPlan creates a transform plan for sequences of length n (n >= 1).

@@ -2,6 +2,7 @@ package fft
 
 import (
 	"fmt"
+	"sync"
 
 	"roughsurface/internal/par"
 )
@@ -9,8 +10,8 @@ import (
 // Plan2D performs two-dimensional transforms of row-major data
 // (ny rows of nx samples, index iy*nx+ix) by the row–column method.
 // Row passes operate on contiguous memory; column passes gather each
-// column into a scratch vector. Both passes are split across a worker
-// pool sized by Workers.
+// column into a pooled scratch buffer. Both passes are split across a
+// worker pool sized by Workers.
 type Plan2D struct {
 	nx, ny int
 	px, py *Plan
@@ -18,26 +19,43 @@ type Plan2D struct {
 	// Workers bounds the number of concurrent goroutines used per pass.
 	// Zero (the default) means par.DefaultWorkers(); 1 forces serial
 	// execution, which some callers use for reproducible profiling.
+	// Plans returned by CachedPlan2D/CachedPlan2DWorkers are shared:
+	// do not mutate their Workers field — request the bound through
+	// CachedPlan2DWorkers instead.
 	Workers int
+
+	// colBuf pools the per-goroutine column-block gather buffers so
+	// steady-state transforms allocate nothing.
+	colBuf sync.Pool
 }
 
-// NewPlan2D creates a plan for nx×ny transforms.
+// colBlock is the number of columns gathered per block in column
+// passes: 16 complex128 columns fill four 64-byte cache lines per row,
+// so every touched line is consumed fully.
+const colBlock = 16
+
+// NewPlan2D creates a plan for nx×ny transforms. The 1D sub-plans are
+// drawn from the process-wide plan cache (they are immutable and safe
+// to share), so constructing many Plan2D values of the same geometry is
+// cheap.
 func NewPlan2D(nx, ny int) (*Plan2D, error) {
 	if nx < 1 || ny < 1 {
 		return nil, fmt.Errorf("fft: invalid 2D size %dx%d", nx, ny)
 	}
-	px, err := NewPlan(nx)
+	px, err := CachedPlan(nx)
 	if err != nil {
 		return nil, err
 	}
 	py := px
 	if ny != nx {
-		py, err = NewPlan(ny)
+		py, err = CachedPlan(ny)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &Plan2D{nx: nx, ny: ny, px: px, py: py}, nil
+	p := &Plan2D{nx: nx, ny: ny, px: px, py: py}
+	p.colBuf.New = func() any { s := make([]complex128, colBlock*ny); return &s }
+	return p, nil
 }
 
 // MustPlan2D is NewPlan2D that panics on error.
@@ -65,14 +83,19 @@ func (p *Plan2D) Inverse(data []complex128) { p.transform(data, true, true) }
 // InverseUnscaled computes the e^{+j...} transform without normalization.
 func (p *Plan2D) InverseUnscaled(data []complex128) { p.transform(data, true, false) }
 
+// workerBound resolves the plan's Workers field to a concrete bound.
+func (p *Plan2D) workerBound() int {
+	if p.Workers <= 0 {
+		return par.DefaultWorkers()
+	}
+	return p.Workers
+}
+
 func (p *Plan2D) transform(data []complex128, inverse, scale bool) {
 	if len(data) != p.nx*p.ny {
 		panic(fmt.Sprintf("fft: 2D length mismatch: plan %dx%d, data %d", p.nx, p.ny, len(data)))
 	}
-	workers := p.Workers
-	if workers <= 0 {
-		workers = par.DefaultWorkers()
-	}
+	workers := p.workerBound()
 
 	// Row pass: contiguous, in place.
 	par.For(p.ny, workers, func(lo, hi int) {
@@ -82,40 +105,7 @@ func (p *Plan2D) transform(data []complex128, inverse, scale bool) {
 		}
 	})
 
-	// Column pass: gather/scatter in blocks of columns so every touched
-	// cache line is consumed fully (a lone complex128 column stride
-	// wastes 3/4 of each 64-byte line). Each goroutine owns one block
-	// buffer.
-	const colBlock = 16
-	blocks := (p.nx + colBlock - 1) / colBlock
-	par.For(blocks, workers, func(lo, hi int) {
-		buf := make([]complex128, colBlock*p.ny)
-		for blk := lo; blk < hi; blk++ {
-			x0 := blk * colBlock
-			bw := colBlock
-			if x0+bw > p.nx {
-				bw = p.nx - x0
-			}
-			// Gather: row-major reads, column-major (contiguous per
-			// column) writes into buf.
-			for iy := 0; iy < p.ny; iy++ {
-				src := data[iy*p.nx+x0 : iy*p.nx+x0+bw]
-				for b, v := range src {
-					buf[b*p.ny+iy] = v
-				}
-			}
-			for b := 0; b < bw; b++ {
-				col := buf[b*p.ny : (b+1)*p.ny]
-				p.py.transform(col, col, inverse)
-			}
-			for iy := 0; iy < p.ny; iy++ {
-				dst := data[iy*p.nx+x0 : iy*p.nx+x0+bw]
-				for b := range dst {
-					dst[b] = buf[b*p.ny+iy]
-				}
-			}
-		}
-	})
+	p.colPass(data, p.nx, inverse, workers)
 
 	if scale {
 		s := complex(1/float64(p.nx*p.ny), 0)
@@ -125,4 +115,45 @@ func (p *Plan2D) transform(data []complex128, inverse, scale bool) {
 			}
 		})
 	}
+}
+
+// colPass runs the length-ny transform down each of ncols columns of
+// data (row-major with row stride ncols; ncols is nx for full-spectrum
+// transforms and HalfNx for the real path). Columns are gathered and
+// scattered in blocks so every touched cache line is consumed fully (a
+// lone complex128 column stride wastes 3/4 of each 64-byte line); the
+// block buffers come from the plan's pool so steady state allocates
+// nothing.
+func (p *Plan2D) colPass(data []complex128, ncols int, inverse bool, workers int) {
+	blocks := (ncols + colBlock - 1) / colBlock
+	par.For(blocks, workers, func(lo, hi int) {
+		bp := p.colBuf.Get().(*[]complex128)
+		buf := *bp
+		for blk := lo; blk < hi; blk++ {
+			x0 := blk * colBlock
+			bw := colBlock
+			if x0+bw > ncols {
+				bw = ncols - x0
+			}
+			// Gather: row-major reads, column-major (contiguous per
+			// column) writes into buf.
+			for iy := 0; iy < p.ny; iy++ {
+				src := data[iy*ncols+x0 : iy*ncols+x0+bw]
+				for b, v := range src {
+					buf[b*p.ny+iy] = v
+				}
+			}
+			for b := 0; b < bw; b++ {
+				col := buf[b*p.ny : (b+1)*p.ny]
+				p.py.transform(col, col, inverse)
+			}
+			for iy := 0; iy < p.ny; iy++ {
+				dst := data[iy*ncols+x0 : iy*ncols+x0+bw]
+				for b := range dst {
+					dst[b] = buf[b*p.ny+iy]
+				}
+			}
+		}
+		p.colBuf.Put(bp)
+	})
 }

@@ -66,6 +66,9 @@ func TestChecks(t *testing.T) {
 			"ignore/ignore.go:20 directive",
 			"ignore/ignore.go:21 floatcmp",
 		}},
+		// buildtag holds a race/!race constant pair: honoring //go:build
+		// is what keeps the pair from "redeclaring" in one lint unit.
+		{"buildtag", "floatcmp", nil},
 		{"clean", "floatcmp", nil},
 		{"clean", "parpolicy", nil},
 		{"clean", "seedrand", nil},

@@ -23,12 +23,14 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -167,6 +169,9 @@ func (l *loader) parseDir(rel string) ([]srcFile, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildOK(f) {
+			continue
+		}
 		files = append(files, srcFile{
 			path: path,
 			name: name,
@@ -177,6 +182,36 @@ func (l *loader) parseDir(rel string) ([]srcFile, error) {
 	}
 	l.parsed[rel] = files
 	return files, nil
+}
+
+// buildOK reports whether the file's //go:build constraint (if any) is
+// satisfied under the default build configuration the linter models:
+// the host GOOS/GOARCH and Go release tags are true, feature tags such
+// as "race" are false. Files excluded by their constraint (e.g. the
+// race/!race constant pairs some tests use) must not be merged into
+// one lint unit — the compiler never sees them together either.
+func buildOK(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				return true // malformed constraint: let go/types complain
+			}
+			return expr.Eval(func(tag string) bool {
+				if tag == runtime.GOOS || tag == runtime.GOARCH {
+					return true
+				}
+				return strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // typeCheck runs go/types over files using imp for imports. withInfo

@@ -1,0 +1,9 @@
+//go:build !race
+
+package buildtag
+
+const raceEnabled = false
+
+// use keeps the constant referenced so the fixture type-checks with
+// unused-style vet rules too.
+var _ = raceEnabled

@@ -1,0 +1,5 @@
+//go:build race
+
+package buildtag
+
+const raceEnabled = true

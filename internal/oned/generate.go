@@ -56,23 +56,34 @@ func DesignKernel(s Spectrum, dx, spanCL, eps float64) (*Kernel, error) {
 		n <<= 1
 	}
 	w := Weights(s, n, dx)
-	work := make([]complex128, n)
-	for i, v := range w {
-		work[i] = complex(math.Sqrt(v), 0)
+	v := make([]float64, n)
+	for i, x := range w {
+		v[i] = math.Sqrt(x)
 	}
-	plan, err := fft.NewPlan(n)
+	plan, err := fft.CachedPlan(n)
 	if err != nil {
 		return nil, err
 	}
-	plan.Forward(work, work)
+	// sqrt(w) is even (w uses the folded index), so its transform is real
+	// and even: the full spectrum is the half spectrum mirrored,
+	// X[i] = X[n−i] for i > n/2, with no conjugation effect on the real
+	// part we keep.
+	half := make([]complex128, plan.HalfLen())
+	plan.ForwardReal(half, v)
+	for k, z := range half {
+		if math.Abs(imag(z)) > 1e-9*(1+s.SigmaH()) {
+			return nil, fmt.Errorf("oned: kernel transform not real (bin %d residue %g)", k, imag(z))
+		}
+	}
 	taps := make([]float64, n)
 	scale := 1 / math.Sqrt(float64(n))
-	for i, z := range work {
-		// fft-shift: center the kernel.
-		taps[(i+n/2)%n] = real(z) * scale
-		if math.Abs(imag(z)) > 1e-9*(1+s.SigmaH()) {
-			return nil, fmt.Errorf("oned: kernel transform not real (bin %d residue %g)", i, imag(z))
+	for i := range taps {
+		b := i
+		if 2*i > n {
+			b = n - i
 		}
+		// fft-shift: center the kernel.
+		taps[(i+n/2)%n] = real(half[b]) * scale
 	}
 	k := &Kernel{C: n / 2, Dx: dx, Taps: taps}
 	if eps < 0 {
@@ -155,10 +166,7 @@ func (g *Generator) GenerateAt(i0 int64, n int) []float64 {
 	k := g.kernel
 	w := n + len(k.Taps) - 1
 	noise := make([]float64, w)
-	base := i0 - int64(k.C)
-	for i := range noise {
-		noise[i] = g.field.At(base+int64(i), 0)
-	}
+	g.field.FillRow(noise, i0-int64(k.C), 0)
 	out := make([]float64, n)
 	for i := range out {
 		var acc float64
@@ -181,28 +189,28 @@ func (g *Generator) GenerateCentered(n int) []float64 {
 // Gaussian vector weighted by sqrt(w) and transformed.
 func DirectDFT(s Spectrum, n int, dx float64, normal rng.Normal) []float64 {
 	w := Weights(s, n, dx)
-	u := make([]complex128, n)
+	plan, err := fft.CachedPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	// Only the non-redundant half spectrum is materialized; the draw
+	// order matches the historical full-spectrum loop (m = 0..n/2, two
+	// variates per conjugate pair), so surfaces stay bit-identical seed
+	// for seed.
+	u := make([]complex128, plan.HalfLen())
 	invSqrt2 := 1 / math.Sqrt2
-	for m := 0; m <= n/2; m++ {
-		p := (n - m) % n
-		if p == m {
-			u[m] = complex(normal.Next(), 0)
+	for m := range u {
+		if (n-m)%n == m { // DC, and Nyquist for even n
+			u[m] = complex(normal.Next()*math.Sqrt(w[m]), 0)
 			continue
 		}
 		re := normal.Next() * invSqrt2
 		im := normal.Next() * invSqrt2
-		u[m] = complex(re, im)
-		u[p] = complex(re, -im)
+		a := math.Sqrt(w[m])
+		u[m] = complex(re*a, im*a)
 	}
-	for m := range u {
-		u[m] *= complex(math.Sqrt(w[m]), 0)
-	}
-	plan := fft.MustPlan(n)
-	plan.InverseUnscaled(u, u)
 	out := make([]float64, n)
-	for i, z := range u {
-		out[i] = real(z)
-	}
+	plan.InverseRealUnscaledTo(out, u)
 	return out
 }
 

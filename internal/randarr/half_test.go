@@ -1,0 +1,55 @@
+package randarr
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/approx"
+	"roughsurface/internal/rng"
+)
+
+// TestHermitianHalfMatchesFull pins the half array to the left half of
+// the full Hermitian array bit for bit: same seed, same draws, same
+// values. This is what lets the direct DFT method switch to the real
+// inverse transform without changing any generated surface.
+func TestHermitianHalfMatchesFull(t *testing.T) {
+	for _, c := range []struct{ nx, ny int }{{4, 4}, {8, 6}, {5, 7}, {6, 5}, {16, 16}, {9, 3}} {
+		full := Hermitian(c.nx, c.ny, rng.NewGaussian(42))
+		half := HermitianHalf(c.nx, c.ny, rng.NewGaussian(42))
+		hx := c.nx/2 + 1
+		if half.Nx != hx || half.Ny != c.ny {
+			t.Fatalf("%dx%d: half is %dx%d, want %dx%d", c.nx, c.ny, half.Nx, half.Ny, hx, c.ny)
+		}
+		for my := 0; my < c.ny; my++ {
+			for mx := 0; mx < hx; mx++ {
+				if !approx.ExactC(half.At(mx, my), full.At(mx, my)) {
+					t.Fatalf("%dx%d: bin (%d,%d) = %v, want %v",
+						c.nx, c.ny, mx, my, half.At(mx, my), full.At(mx, my))
+				}
+			}
+		}
+	}
+}
+
+// TestHermitianHalfSelfConjugateColumns checks the in-column symmetry
+// the real inverse relies on: the kx = 0 column (and kx = nx/2 for even
+// nx) must satisfy u[kx, ny−ky] = conj(u[kx, ky]).
+func TestHermitianHalfSelfConjugateColumns(t *testing.T) {
+	for _, c := range []struct{ nx, ny int }{{8, 8}, {5, 6}, {12, 9}} {
+		u := HermitianHalf(c.nx, c.ny, rng.NewGaussian(7))
+		cols := []int{0}
+		if c.nx%2 == 0 {
+			cols = append(cols, c.nx/2)
+		}
+		for _, kx := range cols {
+			for ky := 0; ky < c.ny; ky++ {
+				a := u.At(kx, ky)
+				b := u.At(kx, (c.ny-ky)%c.ny)
+				if math.Abs(real(a)-real(b)) > 0 || math.Abs(imag(a)+imag(b)) > 0 {
+					t.Fatalf("%dx%d: column %d not self-conjugate at ky=%d: %v vs %v",
+						c.nx, c.ny, kx, ky, a, b)
+				}
+			}
+		}
+	}
+}

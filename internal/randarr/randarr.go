@@ -14,6 +14,7 @@
 package randarr
 
 import (
+	"fmt"
 	"math"
 
 	"roughsurface/internal/grid"
@@ -49,6 +50,60 @@ func Hermitian(nx, ny int, g rng.Normal) *grid.CGrid {
 		}
 	}
 	return u
+}
+
+// HermitianHalf returns only the non-redundant left half of the array
+// Hermitian would produce: hx = nx/2+1 columns (mx = 0..nx/2) of ny
+// rows. It draws variates from g in exactly the raster order of
+// Hermitian — including draws whose canonical bin lies in the dropped
+// right half — so for a given stream the retained bins are bit-identical
+// to Hermitian's; a generator switching to the half-spectrum inverse
+// keeps reproducing the same surfaces seed for seed.
+//
+// The kx = 0 column (and the kx = nx/2 column for even nx) is
+// self-conjugate under the 2D symmetry, so within those columns
+// u[kx, (ny−ky) mod ny] = conj(u[kx, ky]) — the structure the paper's
+// eqns 21–28 enumerate case by case and the real inverse transform
+// relies on.
+func HermitianHalf(nx, ny int, g rng.Normal) *grid.CGrid {
+	u := grid.NewC(nx/2+1, ny)
+	HermitianHalfInto(u, nx, g)
+	return u
+}
+
+// HermitianHalfInto is HermitianHalf writing into a caller-supplied
+// (nx/2+1)×ny array, so steady-state generators can reuse scratch.
+// Every retained bin is overwritten.
+func HermitianHalfInto(u *grid.CGrid, nx int, g rng.Normal) {
+	hx := nx/2 + 1
+	ny := u.Ny
+	if u.Nx != hx {
+		panic(fmt.Sprintf("randarr: half array is %dx%d, want %dx%d", u.Nx, u.Ny, hx, ny))
+	}
+	invSqrt2 := 1 / math.Sqrt2
+	for my := 0; my < ny; my++ {
+		py := (ny - my) % ny
+		for mx := 0; mx < nx; mx++ {
+			px := (nx - mx) % nx
+			self := my*nx + mx
+			partner := py*nx + px
+			switch {
+			case self == partner:
+				// Self-conjugate bins have mx ∈ {0, nx/2}, always
+				// inside the retained half.
+				u.Data[u.Index(mx, my)] = complex(g.Next(), 0)
+			case self < partner:
+				re := g.Next() * invSqrt2
+				im := g.Next() * invSqrt2
+				if mx < hx {
+					u.Data[u.Index(mx, my)] = complex(re, im)
+				}
+				if px < hx {
+					u.Data[u.Index(px, py)] = complex(re, -im)
+				}
+			}
+		}
+	}
 }
 
 // IsHermitian reports whether u satisfies the conjugate symmetry within

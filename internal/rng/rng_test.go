@@ -251,3 +251,34 @@ func BenchmarkFieldAt(b *testing.B) {
 		_ = f.At(int64(i), int64(i>>8))
 	}
 }
+
+// TestFillRowMatchesAt pins the batch fill to the per-sample definition
+// bit for bit, including negative indices and uint64 wrap of the index
+// mix.
+func TestFillRowMatchesAt(t *testing.T) {
+	f := NewField(0xfeedbeef)
+	for _, c := range []struct {
+		i0, j int64
+		n     int
+	}{{0, 0, 17}, {-9, 4, 32}, {1 << 40, -3, 8}, {-1 << 50, 1 << 33, 5}} {
+		dst := make([]float64, c.n)
+		f.FillRow(dst, c.i0, c.j)
+		for m, got := range dst {
+			want := f.At(c.i0+int64(m), c.j)
+			if !approx.Exact(got, want) {
+				t.Fatalf("FillRow(i0=%d, j=%d)[%d] = %g, At = %g", c.i0, c.j, m, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkFieldFillRow(b *testing.B) {
+	f := NewField(1)
+	dst := make([]float64, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.FillRow(dst, 0, int64(i))
+	}
+	b.ReportMetric(float64(len(dst))*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# bench.sh — run the root benchmark suite with pinned -benchtime/-count
+# and emit a machine-readable BENCH_<date>.json (via cmd/rrsbench) so the
+# repo's perf trajectory is diffable across PRs.
+#
+# Environment overrides:
+#   BENCH      benchmark regex (default: the perf-tracked set below;
+#              the Figure benches are excluded because they run seconds
+#              per op — pass BENCH=. to include everything)
+#   BENCHTIME  go test -benchtime (default 500ms)
+#   COUNT      go test -count (default 3)
+#   OUT        output path (default BENCH_<YYYY-MM-DD>.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-ConvVsDFT|Streaming|Autocovariance|Profile1D|WeightArray|KernelTruncation|SamplerAblation}"
+BENCHTIME="${BENCHTIME:-500ms}"
+COUNT="${COUNT:-3}"
+OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+
+go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . \
+    | tee /dev/stderr \
+    | go run ./cmd/rrsbench -o "$OUT"
+echo "bench.sh: wrote $OUT"

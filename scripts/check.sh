@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # check.sh — the repository's verification gate. CI runs exactly this
 # script; run it locally before pushing. It chains:
-#   build → gofmt → go vet → rrslint → tests → race tests → fuzz smoke.
+#   build → gofmt → go vet → rrslint → tests → race tests → bench smoke
+#   → fuzz smoke.
+# The bench smoke (-benchtime=1x) only proves every benchmark still
+# compiles and runs; scripts/bench.sh does the real measurement.
 # FUZZTIME (default 10s) bounds each fuzz target; set FUZZTIME=0 to
 # skip the fuzz smoke entirely (e.g. on very slow machines).
 set -euo pipefail
@@ -31,6 +34,9 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages)"
 go test -race ./internal/par ./internal/fft ./internal/convgen ./internal/inhomo
+
+echo "== bench smoke (compile + one iteration per benchmark)"
+go test -run='^$' -bench=. -benchtime=1x . > /dev/null
 
 if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke ($FUZZTIME each)"
