@@ -20,6 +20,7 @@ import (
 	"roughsurface/internal/convgen"
 	"roughsurface/internal/dftgen"
 	"roughsurface/internal/figures"
+	"roughsurface/internal/grid"
 	"roughsurface/internal/inhomo"
 	"roughsurface/internal/oned"
 	"roughsurface/internal/rng"
@@ -205,6 +206,65 @@ func BenchmarkInhomoFastVsReference(b *testing.B) {
 				_ = gen.GenerateCentered(64, 64)
 			}
 		})
+	}
+
+	// 3-component plate scene, the tile-sparse engine's target workload:
+	// vertical plates meeting at x = ±64 with narrow transitions, so away
+	// from the seams every tile has exactly one active component. Output
+	// goes into a reused caller-owned grid on both paths, so bytes/op is
+	// the engine's own footprint (the dense path's per-component fields
+	// vs the tiled path's pooled scratch).
+	plates := mustBlender(inhomo.NewPlateBlender([]inhomo.Region{
+		inhomo.Rect{X0: math.Inf(-1), Y0: math.Inf(-1), X1: -96, Y1: math.Inf(1), T: 4},
+		inhomo.Rect{X0: -96, Y0: math.Inf(-1), X1: 96, Y1: math.Inf(1), T: 4},
+		inhomo.Rect{X0: 96, Y0: math.Inf(-1), X1: math.Inf(1), Y1: math.Inf(1), T: 4},
+	}))
+	plateKernels := []*convgen.Kernel{
+		convgen.MustDesign(spectrum.MustGaussian(1, 1.5, 1.5), 1, 1, 6, 1e-3),
+		convgen.MustDesign(spectrum.MustExponential(2, 1.5, 1.5), 1, 1, 6, 1e-3),
+		convgen.MustDesign(spectrum.MustGaussian(0.5, 1.5, 1.5), 1, 1, 6, 1e-3),
+	}
+	for _, engine := range []inhomo.Engine{inhomo.EngineDense, inhomo.EngineTiled} {
+		name := "plates3/dense"
+		if engine == inhomo.EngineTiled {
+			name = "plates3/tiled"
+		}
+		b.Run(name, func(b *testing.B) {
+			gen := inhomo.MustGenerator(plateKernels, plates, 1)
+			gen.Engine = engine
+			gen.TileSize = 32 // seam tiles (two active components) stay a small fraction
+			const n = 576
+			dst := grid.New(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen.GenerateAtInto(dst, -n/2, -n/2)
+			}
+		})
+	}
+}
+
+func mustBlender[B inhomo.Blender](b B, err error) B {
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// BenchmarkInhomoWeightMap measures the parallelized blend-weight
+// rasterizer over the same plate scene.
+func BenchmarkInhomoWeightMap(b *testing.B) {
+	plates := mustBlender(inhomo.NewPlateBlender([]inhomo.Region{
+		inhomo.Rect{X0: math.Inf(-1), Y0: math.Inf(-1), X1: -64, Y1: math.Inf(1), T: 4},
+		inhomo.Rect{X0: -64, Y0: math.Inf(-1), X1: 64, Y1: math.Inf(1), T: 4},
+		inhomo.Rect{X0: 64, Y0: math.Inf(-1), X1: math.Inf(1), Y1: math.Inf(1), T: 4},
+	}))
+	k := convgen.MustDesign(spectrum.MustGaussian(1, 3, 3), 1, 1, 6, 1e-3)
+	gen := inhomo.MustGenerator([]*convgen.Kernel{k, k, k}, plates, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.WeightMap(1, -256, -256, 512, 512)
 	}
 }
 

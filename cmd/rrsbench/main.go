@@ -8,6 +8,11 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem -count=3 . | rrsbench -o BENCH_2026-08-05.json
+//	rrsbench compare [-threshold 0.15] BENCH_old.json BENCH_new.json
+//
+// The compare subcommand diffs two records and exits nonzero when any
+// benchmark present in both regressed its mean ns/op by more than the
+// threshold fraction.
 package main
 
 import (
@@ -160,7 +165,99 @@ func stat(vals []float64, higherBetter bool) Stat {
 	return Stat{Mean: sum / float64(len(vals)), Best: best}
 }
 
+// Delta is one benchmark's old-vs-new mean ns/op comparison.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs/OldNs - 1; positive means slower
+	Regressed bool
+}
+
+// Compare diffs mean ns/op over benchmarks present in both reports,
+// flagging those slower by more than the threshold fraction. Order
+// follows new.Benchmarks, which Parse keeps sorted by name.
+func Compare(old, new *Report, threshold float64) []Delta {
+	prev := make(map[string]*Stat, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		if e.NsPerOp != nil {
+			prev[e.Name] = e.NsPerOp
+		}
+	}
+	var deltas []Delta
+	for _, e := range new.Benchmarks {
+		p, ok := prev[e.Name]
+		if !ok || e.NsPerOp == nil || !(p.Mean > 0) {
+			continue
+		}
+		r := e.NsPerOp.Mean/p.Mean - 1
+		deltas = append(deltas, Delta{
+			Name:      e.Name,
+			OldNs:     p.Mean,
+			NewNs:     e.NsPerOp.Mean,
+			Ratio:     r,
+			Regressed: r > threshold,
+		})
+	}
+	return deltas
+}
+
+func readReport(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("rrsbench: %s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+func compareMain(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.15, "mean ns/op regression fraction that fails the comparison")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: rrsbench compare [-threshold 0.15] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := readReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRep, err := readReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	deltas := Compare(oldRep, newRep, *threshold)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "rrsbench compare: no common benchmarks with ns/op")
+		os.Exit(1)
+	}
+	failed := false
+	for _, d := range deltas {
+		status := "ok"
+		if d.Regressed {
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-60s %14.1f -> %14.1f ns/op  %+7.2f%%  %s\n",
+			d.Name, d.OldNs, d.NewNs, 100*d.Ratio, status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "rrsbench compare: mean ns/op regression above %.0f%%\n", 100**threshold)
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		compareMain(os.Args[2:])
+		return
+	}
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -66,5 +67,63 @@ func TestParseRejectsGarbageMetric(t *testing.T) {
 	_, err := Parse(strings.NewReader("BenchmarkX-4 10 nope ns/op\n"))
 	if err == nil {
 		t.Error("want error on unparsable metric value")
+	}
+}
+
+func mkReport(ns map[string]float64) *Report {
+	names := make([]string, 0, len(ns))
+	for n := range ns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rep := &Report{}
+	for _, n := range names {
+		rep.Benchmarks = append(rep.Benchmarks, Entry{
+			Name:    n,
+			Runs:    1,
+			NsPerOp: &Stat{Mean: ns[n], Best: ns[n]},
+		})
+	}
+	return rep
+}
+
+func TestCompare(t *testing.T) {
+	old := mkReport(map[string]float64{
+		"A": 100, // improves
+		"B": 100, // regresses past threshold
+		"C": 100, // slower but inside threshold
+		"D": 100, // dropped in new
+	})
+	new := mkReport(map[string]float64{
+		"B": 130,
+		"C": 110,
+		"A": 50,
+		"E": 7, // new benchmark, no baseline
+	})
+	deltas := Compare(old, new, 0.15)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (common benchmarks only): %+v", len(deltas), deltas)
+	}
+	want := map[string]bool{"A": false, "B": true, "C": false}
+	for _, d := range deltas {
+		reg, ok := want[d.Name]
+		if !ok {
+			t.Errorf("unexpected delta for %q", d.Name)
+			continue
+		}
+		if d.Regressed != reg {
+			t.Errorf("%s: regressed = %v (ratio %+.2f), want %v", d.Name, d.Regressed, d.Ratio, reg)
+		}
+	}
+	if !approx.Equal(deltas[1].Ratio, 0.30, 1e-12) {
+		t.Errorf("B ratio = %g, want 0.30", deltas[1].Ratio)
+	}
+}
+
+func TestCompareSkipsZeroBaseline(t *testing.T) {
+	old := mkReport(map[string]float64{"Z": 0})
+	new := mkReport(map[string]float64{"Z": 50})
+	if deltas := Compare(old, new, 0.15); len(deltas) != 0 {
+		t.Errorf("zero baseline should be skipped, got %+v", deltas)
 	}
 }

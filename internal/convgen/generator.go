@@ -109,16 +109,41 @@ func (g *Generator) GenerateAt(i0, j0 int64, nx, ny int) *grid.Grid {
 	out.Dx, out.Dy = k.Dx, k.Dy
 	out.X0 = float64(i0) * k.Dx
 	out.Y0 = float64(j0) * k.Dy
+	g.GenerateAtInto(out.Data, nx, i0, j0, nx, ny, g.Workers)
+	return out
+}
 
+// GenerateAtInto is GenerateAt writing into a caller-owned destination
+// buffer instead of allocating a grid: row j of the window lands at
+// dst[j*stride : j*stride+nx], so a tile can be rendered in place
+// inside a larger raster (stride = the raster's row length). Samples
+// outside the written rows/columns are untouched. workers bounds this
+// call's parallelism (0 defers to the generator's Workers field, whose
+// 0 in turn means GOMAXPROCS); unlike mutating Workers, passing it here
+// is safe under concurrent calls on one Generator. Scratch comes from
+// the generator's arena pool, so the call itself allocates nothing in
+// steady state.
+func (g *Generator) GenerateAtInto(dst []float64, stride int, i0, j0 int64, nx, ny, workers int) {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("convgen: invalid window %dx%d", nx, ny))
+	}
+	if stride < nx {
+		panic(fmt.Sprintf("convgen: stride %d below window width %d", stride, nx))
+	}
+	if need := stride*(ny-1) + nx; len(dst) < need {
+		panic(fmt.Sprintf("convgen: destination holds %d samples, window needs %d", len(dst), need))
+	}
+	if workers == 0 {
+		workers = g.Workers
+	}
 	ar := g.arenas.Get().(*genArena)
 	switch g.engineFor(nx, ny) {
 	case EngineDirect:
-		g.convolveDirect(out, ar, i0, j0)
+		g.convolveDirect(dst, stride, nx, ny, ar, i0, j0, workers)
 	case EngineFFT:
-		g.convolveFFT(out, ar, i0, j0)
+		g.convolveFFT(dst, stride, nx, ny, ar, i0, j0, workers)
 	}
 	g.arenas.Put(ar)
-	return out
 }
 
 // GenerateCentered materializes an nx×ny window centered on the lattice
@@ -141,8 +166,8 @@ func (g *Generator) engineFor(nx, ny int) Engine {
 
 // fillNoise materializes the noise window [i0, i0+wx) × [j0, j0+wy)
 // into rows of dst at the given stride.
-func (g *Generator) fillNoise(dst []float64, i0, j0 int64, wx, wy, stride int) {
-	par.For(wy, g.Workers, func(lo, hi int) {
+func (g *Generator) fillNoise(dst []float64, i0, j0 int64, wx, wy, stride, workers int) {
+	par.For(wy, workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			g.field.FillRow(dst[j*stride:j*stride+wx], i0, j0+int64(j))
 		}
@@ -152,21 +177,23 @@ func (g *Generator) fillNoise(dst []float64, i0, j0 int64, wx, wy, stride int) {
 // convolveDirect evaluates f(i,j) = Σ_{a,b} taps[b][a]·X(i+a−cx, j+b−cy);
 // the noise window is offset by (−cx, −cy), so the inner expression
 // indexes noise at (i+a, j+b).
-func (g *Generator) convolveDirect(out *grid.Grid, ar *genArena, i0, j0 int64) {
+func (g *Generator) convolveDirect(dst []float64, stride, nx, ny int, ar *genArena, i0, j0 int64, workers int) {
 	k := g.kernel
-	wx := out.Nx + k.Nx - 1
-	wy := out.Ny + k.Ny - 1
+	wx := nx + k.Nx - 1
+	wy := ny + k.Ny - 1
 	ar.noise = growF(ar.noise, wx*wy)
 	noise := ar.noise
-	g.fillNoise(noise, i0-int64(k.CX), j0-int64(k.CY), wx, wy, wx)
-	par.For(out.Ny, g.Workers, func(lo, hi int) {
+	g.fillNoise(noise, i0-int64(k.CX), j0-int64(k.CY), wx, wy, wx, workers)
+	par.For(ny, workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			dstRow := out.Data[j*out.Nx : (j+1)*out.Nx]
+			dstRow := dst[j*stride : j*stride+nx]
 			for i := range dstRow {
 				var acc float64
 				for b := 0; b < k.Ny; b++ {
 					tapRow := k.Taps[b*k.Nx : (b+1)*k.Nx]
-					noiseRow := noise[(j+b)*wx+i:]
+					// Equal-length slices let the compiler drop the
+					// bounds check on the hot multiply-accumulate.
+					noiseRow := noise[(j+b)*wx+i : (j+b)*wx+i+k.Nx]
 					for a, tap := range tapRow {
 						acc += tap * noiseRow[a]
 					}
@@ -187,13 +214,13 @@ func (g *Generator) convolveDirect(out *grid.Grid, ar *genArena, i0, j0 int64) {
 // extracted samples. The kernel half-spectrum is cached per padded
 // size; plans come from the worker-keyed process cache, so steady state
 // builds no tables and allocates nothing beyond the output grid.
-func (g *Generator) convolveFFT(out *grid.Grid, ar *genArena, i0, j0 int64) {
+func (g *Generator) convolveFFT(dst []float64, stride, nx, ny int, ar *genArena, i0, j0 int64, workers int) {
 	k := g.kernel
-	wx := out.Nx + k.Nx - 1
-	wy := out.Ny + k.Ny - 1
+	wx := nx + k.Nx - 1
+	wy := ny + k.Ny - 1
 	px := nextPow2(wx)
 	py := nextPow2(wy)
-	plan, err := fft.CachedPlan2DWorkers(px, py, g.Workers)
+	plan, err := fft.CachedPlan2DWorkers(px, py, workers)
 	if err != nil {
 		panic(err)
 	}
@@ -205,7 +232,7 @@ func (g *Generator) convolveFFT(out *grid.Grid, ar *genArena, i0, j0 int64) {
 	// Noise rows go straight into the padded workspace; the padding is
 	// re-zeroed because the arena still holds the previous call's
 	// inverse output.
-	par.For(py, g.Workers, func(lo, hi int) {
+	par.For(py, workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			row := pad[j*px : (j+1)*px]
 			if j < wy {
@@ -219,15 +246,15 @@ func (g *Generator) convolveFFT(out *grid.Grid, ar *genArena, i0, j0 int64) {
 
 	plan.ForwardReal(spec, pad)
 	tHat := g.cachedTapsHat(plan, px, py)
-	par.For(len(spec), g.Workers, func(lo, hi int) {
+	par.For(len(spec), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			t := tHat[i]
 			spec[i] *= complex(real(t), -imag(t))
 		}
 	})
 	plan.InverseRealTo(pad, spec)
-	for j := 0; j < out.Ny; j++ {
-		copy(out.Data[j*out.Nx:(j+1)*out.Nx], pad[j*px:j*px+out.Nx])
+	for j := 0; j < ny; j++ {
+		copy(dst[j*stride:j*stride+nx], pad[j*px:j*px+nx])
 	}
 }
 

@@ -129,6 +129,35 @@ func (g *Grid) Sub(x0, y0, nx, ny int) *Grid {
 // Row returns the iy-th row as a shared-backing slice view.
 func (g *Grid) Row(iy int) []float64 { return g.Data[iy*g.Nx : (iy+1)*g.Nx] }
 
+// Tile is one rectangle of a Tiling decomposition: samples
+// [X0, X0+Nx) × [Y0, Y0+Ny) of the decomposed raster.
+type Tile struct {
+	X0, Y0 int
+	Nx, Ny int
+}
+
+// Tiling splits an nx×ny raster into row-major tiles of at most tx×ty
+// samples. Edge tiles absorb the remainder, so every sample belongs to
+// exactly one tile and no tile is empty.
+func Tiling(nx, ny, tx, ty int) []Tile {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("grid: invalid raster %dx%d", nx, ny))
+	}
+	if tx < 1 || ty < 1 {
+		panic(fmt.Sprintf("grid: invalid tile %dx%d", tx, ty))
+	}
+	tilesX := (nx + tx - 1) / tx
+	tilesY := (ny + ty - 1) / ty
+	out := make([]Tile, 0, tilesX*tilesY)
+	for y0 := 0; y0 < ny; y0 += ty {
+		h := min(ty, ny-y0)
+		for x0 := 0; x0 < nx; x0 += tx {
+			out = append(out, Tile{X0: x0, Y0: y0, Nx: min(tx, nx-x0), Ny: h})
+		}
+	}
+	return out
+}
+
 // EqualWithin reports whether two grids share geometry and all samples
 // differ by at most tol.
 func (g *Grid) EqualWithin(o *Grid, tol float64) bool {

@@ -261,3 +261,48 @@ func TestMaxAbsDiff(t *testing.T) {
 		t.Errorf("MaxAbsDiff = %g", d)
 	}
 }
+
+// TestTilingPartition: every sample of the raster belongs to exactly
+// one tile, no tile is empty or oversized, and edge tiles absorb the
+// remainder.
+func TestTilingPartition(t *testing.T) {
+	cases := []struct{ nx, ny, tx, ty int }{
+		{1, 1, 64, 64}, {64, 64, 64, 64}, {65, 64, 64, 64},
+		{100, 70, 32, 16}, {7, 31, 8, 8}, {256, 3, 64, 64},
+	}
+	for _, c := range cases {
+		tiles := Tiling(c.nx, c.ny, c.tx, c.ty)
+		seen := make([]int, c.nx*c.ny)
+		for _, tl := range tiles {
+			if tl.Nx < 1 || tl.Ny < 1 || tl.Nx > c.tx || tl.Ny > c.ty {
+				t.Fatalf("%+v: tile %+v out of bounds", c, tl)
+			}
+			for j := tl.Y0; j < tl.Y0+tl.Ny; j++ {
+				for i := tl.X0; i < tl.X0+tl.Nx; i++ {
+					seen[j*c.nx+i]++
+				}
+			}
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				t.Fatalf("%+v: sample %d covered %d times", c, idx, n)
+			}
+		}
+	}
+}
+
+func TestTilingPanicsOnBadGeometry(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Tiling(0, 4, 8, 8) },
+		func() { Tiling(4, 4, 0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

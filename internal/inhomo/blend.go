@@ -35,6 +35,86 @@ type Blender interface {
 	BlendWeights(w []float64, x, y float64)
 }
 
+// SupportMasker is an optional Blender refinement that powers the
+// tile-sparse generation path: SupportMask reports, per component,
+// whether its blend weight may be nonzero anywhere in the axis-aligned
+// rectangle [x0,x1]×[y0,y1]. The contract is a conservative
+// over-approximation — false guarantees the weight is identically zero
+// throughout the rectangle; true carries no guarantee. All blenders in
+// this package implement it.
+type SupportMasker interface {
+	SupportMask(x0, y0, x1, y1 float64) []bool
+}
+
+// SupportRanger is an optional Region refinement used by
+// PlateBlender.SupportMask: SupportRange reports conservative bounds
+// lo ≤ min Support and hi ≥ max Support over the rectangle
+// [x0,x1]×[y0,y1]. Regions without it contribute the vacuous bounds
+// [0, 1], i.e. "may be active anywhere, covers nothing for certain".
+type SupportRanger interface {
+	SupportRange(x0, y0, x1, y1 float64) (lo, hi float64)
+}
+
+func supportRange(r Region, x0, y0, x1, y1 float64) (lo, hi float64) {
+	if sr, ok := r.(SupportRanger); ok {
+		return sr.SupportRange(x0, y0, x1, y1)
+	}
+	return 0, 1
+}
+
+// axisRange bounds d(x) = min(x−a, b−x) over x ∈ [lo, hi] exactly: the
+// function is concave piecewise linear, so its minimum sits at an
+// interval endpoint and its maximum at the midpoint of [a, b] clamped
+// into the interval. Infinite a or b (half-planes) push the maximum to
+// the corresponding interval endpoint.
+func axisRange(lo, hi, a, b float64) (dmin, dmax float64) {
+	d := func(x float64) float64 { return math.Min(x-a, b-x) }
+	dmin = math.Min(d(lo), d(hi))
+	at := (a + b) / 2
+	switch {
+	case math.IsInf(a, -1):
+		at = lo // d is nonincreasing (or +Inf everywhere)
+	case math.IsInf(b, 1):
+		at = hi // d is nondecreasing
+	case at < lo:
+		at = lo
+	case at > hi:
+		at = hi
+	}
+	return dmin, d(at)
+}
+
+// rectDistRange bounds the Euclidean distance from a point (cx, cy) to
+// the rectangle [x0,x1]×[y0,y1]: dmin to the clamped nearest point,
+// dmax to the farthest corner.
+func rectDistRange(x0, y0, x1, y1, cx, cy float64) (dmin, dmax float64) {
+	nx, ny := cx, cy
+	if nx < x0 {
+		nx = x0
+	} else if nx > x1 {
+		nx = x1
+	}
+	if ny < y0 {
+		ny = y0
+	} else if ny > y1 {
+		ny = y1
+	}
+	fx, fy := x0, y0
+	if cx-x0 < x1-cx {
+		fx = x1
+	}
+	if cy-y0 < y1-cy {
+		fy = y1
+	}
+	return math.Hypot(cx-nx, cy-ny), math.Hypot(cx-fx, cy-fy)
+}
+
+// rampRange maps exact bounds on the signed distance through the
+// monotone ramp.
+func rampRange(dlo, dhi, t float64) (lo, hi float64) {
+	return ramp(dlo, t), ramp(dhi, t)
+}
+
 // Region is a plate-oriented membership function: Support is 1 in the
 // region core, falls linearly to 0 across a transition band, and is 0
 // outside. At the nominal boundary the support is exactly 1/2, so two
@@ -79,6 +159,17 @@ func (r Rect) Support(x, y float64) float64 {
 	return ramp(math.Min(dx, dy), r.T)
 }
 
+// SupportRange implements SupportRanger exactly: the signed distance
+// min(dx(x), dy(y)) separates over the axes, so its extremes over a
+// rectangle are the axis-wise extremes combined — min over a product
+// set of a minimum of independent terms is the min of the per-axis
+// minima, and likewise for the max.
+func (r Rect) SupportRange(x0, y0, x1, y1 float64) (lo, hi float64) {
+	dxmin, dxmax := axisRange(x0, x1, r.X0, r.X1)
+	dymin, dymax := axisRange(y0, y1, r.Y0, r.Y1)
+	return rampRange(math.Min(dxmin, dymin), math.Min(dxmax, dymax), r.T)
+}
+
 // Circle is a disc of radius R centered at (CX, CY) with transition
 // half-width T — the Fig. 3 geometry.
 type Circle struct {
@@ -92,6 +183,14 @@ func (c Circle) Support(x, y float64) float64 {
 	return ramp(d, c.T)
 }
 
+// SupportRange implements SupportRanger exactly: the center distance
+// over a rectangle spans [nearest clamped point, farthest corner], and
+// d = R − dist is monotone in it.
+func (c Circle) SupportRange(x0, y0, x1, y1 float64) (lo, hi float64) {
+	dmin, dmax := rectDistRange(x0, y0, x1, y1, c.CX, c.CY)
+	return rampRange(c.R-dmax, c.R-dmin, c.T)
+}
+
 // Complement is the outside of another region: its support is
 // 1 − Inner.Support, giving an exact partition of unity with the inner
 // region (how Fig. 3 pairs "inside the pond" with "everything else").
@@ -101,6 +200,13 @@ type Complement struct {
 
 // Support implements Region.
 func (c Complement) Support(x, y float64) float64 { return 1 - c.Inner.Support(x, y) }
+
+// SupportRange implements SupportRanger by reflecting the inner
+// region's bounds through 1 − s.
+func (c Complement) SupportRange(x0, y0, x1, y1 float64) (lo, hi float64) {
+	ilo, ihi := supportRange(c.Inner, x0, y0, x1, y1)
+	return 1 - ihi, 1 - ilo
+}
 
 // PlateBlender implements the plate-oriented method: component m's
 // weight at a point is region m's support, normalized over all regions.
@@ -144,6 +250,29 @@ func (b *PlateBlender) BlendWeights(w []float64, x, y float64) {
 	for i := range w {
 		w[i] *= inv
 	}
+}
+
+// SupportMask implements SupportMasker. Component m is marked active
+// when region m's support bound allows a nonzero value somewhere in the
+// rectangle. One extra guard mirrors BlendWeights' coverage-gap
+// fallback: the pointwise weight sum is at least the sum of the
+// per-region lower bounds, so only when that sum is zero could the
+// uniform fallback fire somewhere in the rectangle — then every
+// component must be treated as active.
+func (b *PlateBlender) SupportMask(x0, y0, x1, y1 float64) []bool {
+	mask := make([]bool, len(b.Regions))
+	var sumLo float64
+	for i, r := range b.Regions {
+		lo, hi := supportRange(r, x0, y0, x1, y1)
+		mask[i] = hi > 0
+		sumLo += lo
+	}
+	if !(sumLo > 0) {
+		for i := range mask {
+			mask[i] = true
+		}
+	}
+	return mask
 }
 
 // Point is one representative point of the point-oriented method,
@@ -249,6 +378,30 @@ func (b *PointBlender) BlendWeights(w []float64, x, y float64) {
 	w[b.Points[best].Component] += 1 - others
 }
 
+// SupportMask implements SupportMasker. Representative point i can
+// carry weight at an observation point n only when τ(i) ≤ T, and
+// because the bisector separation obeys sep ≤ |n−p_i| + |n−p*|, eqn
+// (42) gives τ(i) ≥ (|n−p_i| − |n−p*|)/2 — so weight requires
+// |n−p_i| ≤ |n−p*| + 2T. Over the rectangle, |n−p_i| is at least
+// point i's nearest-approach distance and the nearest-point distance
+// |n−p*| is at most min_j (farthest-corner distance to p_j); comparing
+// those bounds can only over-report activity, never miss it.
+func (b *PointBlender) SupportMask(x0, y0, x1, y1 float64) []bool {
+	mask := make([]bool, b.numComponents)
+	reach := math.Inf(1)
+	for _, p := range b.Points {
+		_, dmax := rectDistRange(x0, y0, x1, y1, p.X, p.Y)
+		reach = math.Min(reach, dmax)
+	}
+	for _, p := range b.Points {
+		dmin, _ := rectDistRange(x0, y0, x1, y1, p.X, p.Y)
+		if dmin <= reach+2*b.T {
+			mask[p.Component] = true
+		}
+	}
+	return mask
+}
+
 // UniformBlender assigns all weight to a single component everywhere —
 // the degenerate case that reduces inhomogeneous generation to
 // homogeneous generation, used by tests and as a building block.
@@ -265,4 +418,36 @@ func (b UniformBlender) BlendWeights(w []float64, x, y float64) {
 		w[i] = 0
 	}
 	w[b.Index] = 1
+}
+
+// SupportMask implements SupportMasker: only Index is ever active.
+func (b UniformBlender) SupportMask(x0, y0, x1, y1 float64) []bool {
+	mask := make([]bool, b.M)
+	mask[b.Index] = true
+	return mask
+}
+
+// sampleSupportMask approximates SupportMask for blenders outside this
+// package by evaluating BlendWeights on a coarse probe lattice of the
+// rectangle (corners included). Unlike the SupportMasker contract it is
+// NOT conservative — support confined between probes is missed — so the
+// tiled engine only resorts to it when EngineTiled is forced on a
+// blender that does not publish masks (EngineAuto takes the dense path
+// instead; see DESIGN.md §9).
+func sampleSupportMask(b Blender, x0, y0, x1, y1 float64) []bool {
+	const probes = 8
+	mask := make([]bool, b.NumComponents())
+	w := make([]float64, len(mask))
+	for jy := 0; jy <= probes; jy++ {
+		y := y0 + (y1-y0)*float64(jy)/probes
+		for ix := 0; ix <= probes; ix++ {
+			b.BlendWeights(w, x0+(x1-x0)*float64(ix)/probes, y)
+			for i, v := range w {
+				if v != 0 {
+					mask[i] = true
+				}
+			}
+		}
+	}
+	return mask
 }

@@ -2,6 +2,7 @@ package inhomo
 
 import (
 	"fmt"
+	"sync"
 
 	"roughsurface/internal/approx"
 	"roughsurface/internal/convgen"
@@ -10,9 +11,38 @@ import (
 	"roughsurface/internal/rng"
 )
 
+// Engine selects the inhomogeneous generation path.
+type Engine int
+
+const (
+	// EngineAuto uses the tile-sparse path when the blender publishes
+	// support masks and those masks vary across the window's tiles;
+	// otherwise it takes the dense blended-fields path restricted to
+	// the components the masks leave active (spatially uniform masks —
+	// e.g. UniformBlender — gain nothing from tiling, and a full-window
+	// convolution amortizes its FFT padding better than many tiles).
+	EngineAuto Engine = iota
+	// EngineDense forces the full-window blended-fields path: all M
+	// component surfaces over the whole window, mixed pointwise.
+	EngineDense
+	// EngineTiled forces the tile-sparse path. Blenders without
+	// SupportMask get sampled (non-conservative) masks; see DESIGN.md
+	// §9 before forcing this on a custom blender.
+	EngineTiled
+)
+
+// defaultTileSize is the tile edge in samples: 64² float64 = 32 KiB per
+// scratch buffer, small enough that a tile's working set (a few active
+// component fields plus the noise window) stays cache-resident.
+const defaultTileSize = 64
+
 // Generator synthesizes inhomogeneous surfaces from M homogeneous
 // component kernels and a Blender. All kernels must share the sample
 // spacing; they may differ in size.
+//
+// A Generator is safe for concurrent use: per-call scratch comes from
+// an internal pool and the per-component convolution generators are
+// never mutated after construction. Returned grids are caller-owned.
 type Generator struct {
 	kernels []*convgen.Kernel
 	convs   []*convgen.Generator // one per component, sharing the noise seed
@@ -21,12 +51,47 @@ type Generator struct {
 
 	// Workers bounds per-call parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Engine selects the generation path (default EngineAuto).
+	Engine Engine
+	// TileSize overrides the tile edge of the sparse path in samples
+	// (0 = the 64-sample default).
+	TileSize int
 	// Reference forces the literal per-point evaluation of eqn (46)
-	// instead of the algebraically identical blended-fields fast path.
+	// instead of the algebraically identical blended-fields paths.
 	// O(outputs × taps × M); intended for validation.
 	Reference bool
 
 	dx, dy float64
+
+	// extGroups partitions the components by kernel half-extent so each
+	// distinct dilation costs one SupportMask query per tile.
+	extGroups []extentGroup
+
+	// arenas pools the per-tile scratch (active component fields and
+	// the weight vector) so the sparse path allocates nothing per tile
+	// in steady state beyond the returned grid.
+	arenas sync.Pool
+}
+
+// extentGroup is the set of component indices whose kernels share the
+// physical half-extent (ex, ey).
+type extentGroup struct {
+	ex, ey float64
+	comps  []int
+}
+
+// tileArena is one worker's scratch for rendering a multi-active tile.
+type tileArena struct {
+	fields [][]float64 // one tile-sized buffer per active component
+	w      []float64   // BlendWeights output, length M
+	active []int       // indices of active components
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float64, n)
 }
 
 // NewGenerator validates the component set against the blender.
@@ -43,14 +108,30 @@ func NewGenerator(kernels []*convgen.Kernel, blender Blender, seed uint64) (*Gen
 	}
 	dx, dy := kernels[0].Dx, kernels[0].Dy
 	convs := make([]*convgen.Generator, len(kernels))
+	var groups []extentGroup
 	for i, k := range kernels {
 		if !approx.Exact(k.Dx, dx) || !approx.Exact(k.Dy, dy) {
 			return nil, fmt.Errorf("inhomo: kernel %d spacing (%g,%g) differs from (%g,%g)",
 				i, k.Dx, k.Dy, dx, dy)
 		}
 		convs[i] = convgen.NewGenerator(k, seed) // same seed → same noise field
+		ex, ey := k.HalfExtents()
+		placed := false
+		for gi := range groups {
+			if approx.Exact(groups[gi].ex, ex) && approx.Exact(groups[gi].ey, ey) {
+				groups[gi].comps = append(groups[gi].comps, i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, extentGroup{ex: ex, ey: ey, comps: []int{i}})
+		}
 	}
-	return &Generator{kernels: kernels, convs: convs, blender: blender, seed: seed, dx: dx, dy: dy}, nil
+	g := &Generator{kernels: kernels, convs: convs, blender: blender, seed: seed,
+		dx: dx, dy: dy, extGroups: groups}
+	g.arenas.New = func() any { return &tileArena{} }
+	return g, nil
 }
 
 // MustGenerator is NewGenerator that panics on error.
@@ -65,10 +146,48 @@ func MustGenerator(kernels []*convgen.Kernel, blender Blender, seed uint64) *Gen
 // GenerateAt materializes the window with lower lattice corner (i0, j0)
 // of nx×ny samples.
 func (g *Generator) GenerateAt(i0, j0 int64, nx, ny int) *grid.Grid {
-	if g.Reference {
-		return g.generateReference(i0, j0, nx, ny)
+	out := g.newWindow(i0, j0, nx, ny)
+	g.GenerateAtInto(out, i0, j0)
+	return out
+}
+
+// GenerateAtInto renders the window with lower lattice corner (i0, j0)
+// into the caller-owned grid; out.Nx×out.Ny fixes the window size and
+// the grid's spacing/origin metadata is overwritten to match. Reusing
+// one grid across calls makes steady-state generation allocation-free
+// on the tiled path (per-tile scratch is pooled).
+func (g *Generator) GenerateAtInto(out *grid.Grid, i0, j0 int64) {
+	if out == nil || out.Nx < 1 || out.Ny < 1 {
+		panic("inhomo: GenerateAtInto needs a non-empty destination grid")
 	}
-	return g.generateFast(i0, j0, nx, ny)
+	out.Dx, out.Dy = g.dx, g.dy
+	out.X0 = float64(i0) * g.dx
+	out.Y0 = float64(j0) * g.dy
+	if g.Reference {
+		g.generateReference(out, i0, j0)
+		return
+	}
+	nx, ny := out.Nx, out.Ny
+	switch g.Engine {
+	case EngineDense:
+		g.generateFast(out, i0, j0)
+		return
+	case EngineTiled:
+		tiles := grid.Tiling(nx, ny, g.tileSize(), g.tileSize())
+		g.generateTiled(out, i0, j0, tiles, g.tileMasks(tiles, i0, j0))
+		return
+	}
+	if _, ok := g.blender.(SupportMasker); !ok {
+		g.generateFast(out, i0, j0)
+		return
+	}
+	tiles := grid.Tiling(nx, ny, g.tileSize(), g.tileSize())
+	masks := g.tileMasks(tiles, i0, j0)
+	if shared := sharedMask(masks); shared != nil {
+		g.generateFastMasked(out, i0, j0, shared)
+		return
+	}
+	g.generateTiled(out, i0, j0, tiles, masks)
 }
 
 // GenerateCentered materializes an nx×ny window centered on the lattice
@@ -77,16 +196,168 @@ func (g *Generator) GenerateCentered(nx, ny int) *grid.Grid {
 	return g.GenerateAt(-int64(nx/2), -int64(ny/2), nx, ny)
 }
 
+func (g *Generator) tileSize() int {
+	if g.TileSize > 0 {
+		return g.TileSize
+	}
+	return defaultTileSize
+}
+
+// tileMasks computes the per-tile active-component masks. Each
+// component is queried over the tile's physical rectangle dilated by
+// that component's kernel half-extent (belt-and-braces conservatism;
+// the pointwise blend algebra needs no dilation — see DESIGN.md §9),
+// with one SupportMask call per distinct half-extent.
+func (g *Generator) tileMasks(tiles []grid.Tile, i0, j0 int64) [][]bool {
+	sm, _ := g.blender.(SupportMasker)
+	masks := make([][]bool, len(tiles))
+	slab := make([]bool, len(tiles)*len(g.kernels))
+	for t, tile := range tiles {
+		x0 := float64(i0+int64(tile.X0)) * g.dx
+		y0 := float64(j0+int64(tile.Y0)) * g.dy
+		x1 := x0 + float64(tile.Nx-1)*g.dx
+		y1 := y0 + float64(tile.Ny-1)*g.dy
+		mask := slab[t*len(g.kernels) : (t+1)*len(g.kernels)]
+		for _, grp := range g.extGroups {
+			var qm []bool
+			if sm != nil {
+				qm = sm.SupportMask(x0-grp.ex, y0-grp.ey, x1+grp.ex, y1+grp.ey)
+			} else {
+				qm = sampleSupportMask(g.blender, x0-grp.ex, y0-grp.ey, x1+grp.ex, y1+grp.ey)
+			}
+			for _, m := range grp.comps {
+				mask[m] = qm[m]
+			}
+		}
+		masks[t] = mask
+	}
+	return masks
+}
+
+// sharedMask returns the single mask all tiles agree on, or nil when
+// the masks vary — the sparsity signal EngineAuto keys on.
+func sharedMask(masks [][]bool) []bool {
+	first := masks[0]
+	for _, m := range masks[1:] {
+		for i := range m {
+			if m[i] != first[i] {
+				return nil
+			}
+		}
+	}
+	return first
+}
+
+// generateTiled is the sparse engine: each tile runs only its active
+// components through the destination-buffer convolution API and fuses
+// the w·F accumulation, so work scales with Σ active-tile area instead
+// of M × window area. Tiles are scheduled through par.Dynamic because
+// their costs are heterogeneous — a seam tile with three active
+// components costs several times an interior tile — and static chunking
+// would idle workers behind the expensive ones.
+func (g *Generator) generateTiled(out *grid.Grid, i0, j0 int64, tiles []grid.Tile, masks [][]bool) {
+	par.Dynamic(len(tiles), g.Workers, func(t int) {
+		g.renderTile(out, i0, j0, tiles[t], masks[t])
+	})
+}
+
+// renderTile materializes one tile of the window in place. The tile is
+// the unit of parallelism, so the per-component generation below runs
+// single-worker.
+func (g *Generator) renderTile(out *grid.Grid, i0, j0 int64, t grid.Tile, mask []bool) {
+	ar := g.arenas.Get().(*tileArena)
+	defer g.arenas.Put(ar)
+	active := ar.active[:0]
+	for m, on := range mask {
+		if on {
+			active = append(active, m)
+		}
+	}
+	if len(active) == 0 {
+		// A conservative mask can never be all-false under a partition
+		// of unity; guard against a broken custom masker anyway.
+		for m := range mask {
+			active = append(active, m)
+		}
+	}
+	ar.active = active
+
+	base := t.Y0*out.Nx + t.X0
+	ti0, tj0 := i0+int64(t.X0), j0+int64(t.Y0)
+	if len(active) == 1 {
+		// Sole active component ⇒ its weight is identically 1 on the
+		// tile (weights sum to 1 and the rest are provably zero):
+		// generate straight into the output rows, no blend pass.
+		g.convs[active[0]].GenerateAtInto(out.Data[base:], out.Nx, ti0, tj0, t.Nx, t.Ny, 1)
+		return
+	}
+
+	n := t.Nx * t.Ny
+	if cap(ar.fields) < len(active) {
+		ar.fields = append(ar.fields, make([][]float64, len(active)-len(ar.fields))...)
+	}
+	fields := ar.fields[:len(active)]
+	for s, m := range active {
+		fields[s] = growFloats(fields[s], n)
+		g.convs[m].GenerateAtInto(fields[s], t.Nx, ti0, tj0, t.Nx, t.Ny, 1)
+	}
+	ar.fields = fields[:cap(fields)]
+	w := growFloats(ar.w, len(mask))
+	ar.w = w
+	for j := 0; j < t.Ny; j++ {
+		y := float64(tj0+int64(j)) * g.dy
+		row := out.Data[base+j*out.Nx : base+j*out.Nx+t.Nx]
+		off := j * t.Nx
+		for i := range row {
+			x := float64(ti0+int64(i)) * g.dx
+			g.blender.BlendWeights(w, x, y)
+			var acc float64
+			for s, m := range active {
+				acc += w[m] * fields[s][off+i]
+			}
+			row[i] = acc
+		}
+	}
+}
+
 // generateFast produces each component's homogeneous surface from the
 // shared noise field and mixes them pointwise: f = Σ_m g_n(m)·F_m(n).
 // This is eqn (46) after exchanging the two sums.
-func (g *Generator) generateFast(i0, j0 int64, nx, ny int) *grid.Grid {
-	fields := make([]*grid.Grid, len(g.kernels))
-	for m, cg := range g.convs {
-		cg.Workers = g.Workers
-		fields[m] = cg.GenerateAt(i0, j0, nx, ny)
+func (g *Generator) generateFast(out *grid.Grid, i0, j0 int64) {
+	active := make([]bool, len(g.kernels))
+	for i := range active {
+		active[i] = true
 	}
-	out := g.newWindow(i0, j0, nx, ny)
+	g.generateFastMasked(out, i0, j0, active)
+}
+
+// generateFastMasked is generateFast restricted to the components a
+// window-wide support mask leaves active: components the mask rules out
+// carry zero weight everywhere, so skipping their fields is exact. With
+// a single active component the window is that component's homogeneous
+// surface and the blend sweep is skipped entirely.
+func (g *Generator) generateFastMasked(out *grid.Grid, i0, j0 int64, active []bool) {
+	nx, ny := out.Nx, out.Ny
+	count := 0
+	last := 0
+	for m, on := range active {
+		if on {
+			count++
+			last = m
+		}
+	}
+	if count == 1 {
+		g.convs[last].GenerateAtInto(out.Data, nx, i0, j0, nx, ny, g.Workers)
+		return
+	}
+	fields := make([][]float64, len(g.kernels))
+	for m, cg := range g.convs {
+		if !active[m] {
+			continue
+		}
+		fields[m] = make([]float64, nx*ny)
+		cg.GenerateAtInto(fields[m], nx, i0, j0, nx, ny, g.Workers)
+	}
 	par.For(ny, g.Workers, func(lo, hi int) {
 		w := make([]float64, len(g.kernels))
 		for j := lo; j < hi; j++ {
@@ -95,21 +366,22 @@ func (g *Generator) generateFast(i0, j0 int64, nx, ny int) *grid.Grid {
 				x := float64(i0+int64(i)) * g.dx
 				g.blender.BlendWeights(w, x, y)
 				var acc float64
-				for m := range fields {
-					acc += w[m] * fields[m].Data[j*nx+i]
+				for m, f := range fields {
+					if f != nil {
+						acc += w[m] * f[j*nx+i]
+					}
 				}
 				out.Data[j*nx+i] = acc
 			}
 		}
 	})
-	return out
 }
 
 // generateReference evaluates eqn (46) literally: at every output point
 // the blended kernel Σ_m g·w̃(m) is applied to the noise window.
-func (g *Generator) generateReference(i0, j0 int64, nx, ny int) *grid.Grid {
+func (g *Generator) generateReference(out *grid.Grid, i0, j0 int64) {
 	field := rng.NewField(g.seed)
-	out := g.newWindow(i0, j0, nx, ny)
+	nx, ny := out.Nx, out.Ny
 	par.For(ny, g.Workers, func(lo, hi int) {
 		w := make([]float64, len(g.kernels))
 		for j := lo; j < hi; j++ {
@@ -136,7 +408,6 @@ func (g *Generator) generateReference(i0, j0 int64, nx, ny int) *grid.Grid {
 			}
 		}
 	})
-	return out
 }
 
 func (g *Generator) newWindow(i0, j0 int64, nx, ny int) *grid.Grid {
@@ -155,14 +426,16 @@ func (g *Generator) WeightMap(m int, i0, j0 int64, nx, ny int) *grid.Grid {
 		panic(fmt.Sprintf("inhomo: WeightMap component %d of %d", m, len(g.kernels)))
 	}
 	out := g.newWindow(i0, j0, nx, ny)
-	w := make([]float64, len(g.kernels))
-	for j := 0; j < ny; j++ {
-		y := float64(j0+int64(j)) * g.dy
-		for i := 0; i < nx; i++ {
-			x := float64(i0+int64(i)) * g.dx
-			g.blender.BlendWeights(w, x, y)
-			out.Data[j*nx+i] = w[m]
+	par.For(ny, g.Workers, func(lo, hi int) {
+		w := make([]float64, len(g.kernels))
+		for j := lo; j < hi; j++ {
+			y := float64(j0+int64(j)) * g.dy
+			for i := 0; i < nx; i++ {
+				x := float64(i0+int64(i)) * g.dx
+				g.blender.BlendWeights(w, x, y)
+				out.Data[j*nx+i] = w[m]
+			}
 		}
-	}
+	})
 	return out
 }

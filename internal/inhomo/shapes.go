@@ -48,6 +48,16 @@ func (s Sector) Support(x, y float64) float64 {
 	return ramp(d, s.T)
 }
 
+// SupportRange implements SupportRanger conservatively: the radial
+// margin alone bounds the support from above (the angular margin can
+// only shrink it), and no coverage is claimed (lo = 0) because bounding
+// the angular term over a rectangle is not worth the geometry.
+func (s Sector) SupportRange(x0, y0, x1, y1 float64) (lo, hi float64) {
+	dmin, dmax := rectDistRange(x0, y0, x1, y1, s.CX, s.CY)
+	_, dhi := axisRange(dmin, dmax, s.R0, s.R1)
+	return 0, ramp(dhi, s.T)
+}
+
 // Polygon is a simple (non-self-intersecting) polygon region with
 // transition half-width T. Vertices are listed in order (either
 // winding); the boundary closes automatically.
@@ -70,6 +80,19 @@ func NewPolygon(xs, ys []float64, t float64) (Polygon, error) {
 // Support implements Region using the signed Euclidean distance to the
 // polygon boundary: positive inside (even-odd rule), negative outside.
 func (p Polygon) Support(x, y float64) float64 {
+	return ramp(p.signedDistance(x, y), p.T)
+}
+
+// SupportRange implements SupportRanger through the 1-Lipschitz
+// property of the Euclidean signed distance: over a rectangle with
+// center c and half-diagonal ρ, d stays within [d(c)−ρ, d(c)+ρ].
+func (p Polygon) SupportRange(x0, y0, x1, y1 float64) (lo, hi float64) {
+	rho := math.Hypot(x1-x0, y1-y0) / 2
+	d := p.signedDistance((x0+x1)/2, (y0+y1)/2)
+	return rampRange(d-rho, d+rho, p.T)
+}
+
+func (p Polygon) signedDistance(x, y float64) float64 {
 	n := len(p.X)
 	inside := false
 	minD2 := math.Inf(1)
@@ -105,7 +128,7 @@ func (p Polygon) Support(x, y float64) float64 {
 	if !inside {
 		d = -d
 	}
-	return ramp(d, p.T)
+	return d
 }
 
 // Streamer generates an unbounded-in-y inhomogeneous surface as

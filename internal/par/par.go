@@ -7,6 +7,7 @@ package par
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultWorkers reports the degree of parallelism used when a caller
@@ -59,4 +60,46 @@ func ForEach(n, workers int, fn func(i int)) {
 			fn(i)
 		}
 	})
+}
+
+// Dynamic runs fn(i) for every i in [0, n) with work pulled from a
+// shared atomic counter instead of the static chunking of For. Use it
+// when per-index costs are heterogeneous (e.g. surface tiles whose
+// active component counts differ): a worker that finishes a cheap index
+// immediately claims the next one, so no worker idles behind a slow
+// chunk. Indices are claimed in order but may complete out of order;
+// fn must not rely on completion order. Blocks until all indices are
+// done. With workers <= 1 (or n == 1) it degrades to a serial loop.
+func Dynamic(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
 }

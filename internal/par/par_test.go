@@ -1,6 +1,7 @@
 package par
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -75,6 +76,93 @@ func TestForEach(t *testing.T) {
 		if c != 1 {
 			t.Fatalf("index %d visited %d times", i, c)
 		}
+	}
+}
+
+func TestDynamicCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			counts := make([]int32, n)
+			Dynamic(n, workers, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDynamicZeroAndNegative(t *testing.T) {
+	called := false
+	Dynamic(0, 4, func(i int) { called = true })
+	Dynamic(-5, 4, func(i int) { called = true })
+	if called {
+		t.Error("Dynamic should not invoke fn for n <= 0")
+	}
+}
+
+func TestDynamicSingleWorkerRunsInline(t *testing.T) {
+	// With workers=1 the callback must run serially on the calling
+	// goroutine: verify by mutating a variable without synchronization
+	// under -race, and by observing in-order execution.
+	var order []int
+	Dynamic(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Dynamic out of order: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("serial Dynamic ran %d of 10 indices", len(order))
+	}
+}
+
+// TestDynamicBalancesHeterogeneousWork gives one index a cost far above
+// the rest and checks the cheap indices are not serialized behind it:
+// with static chunking the worker owning the slow index would also own
+// a chunk of cheap ones, so completion of all cheap indices before the
+// slow one finishes is evidence of dynamic distribution.
+func TestDynamicBalancesHeterogeneousWork(t *testing.T) {
+	const n = 64
+	slowRelease := make(chan struct{})
+	var cheapDone atomic.Int32
+	done := make(chan struct{})
+	go func() { //lint:ignore parpolicy test needs an unmanaged goroutine to gate the slow index
+		Dynamic(n, 4, func(i int) {
+			if i == 0 {
+				<-slowRelease
+				return
+			}
+			cheapDone.Add(1)
+		})
+		close(done)
+	}()
+	// All n-1 cheap indices must complete while index 0 is still blocked.
+	for deadline := 0; cheapDone.Load() != n-1; deadline++ {
+		if deadline > 5000 {
+			t.Fatalf("only %d of %d cheap indices done while slow index holds a worker", cheapDone.Load(), n-1)
+		}
+		runtime.Gosched()
+	}
+	close(slowRelease)
+	<-done
+}
+
+func TestQuickDynamicPartition(t *testing.T) {
+	f := func(rawN uint16, rawW uint8) bool {
+		n := int(rawN) % 2000
+		w := int(rawW)%20 - 2 // includes negatives and zero
+		var sum int64
+		Dynamic(n, w, func(i int) {
+			atomic.AddInt64(&sum, 1)
+		})
+		return sum == int64(max(n, 0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -10,15 +10,24 @@
 #   BENCHTIME  go test -benchtime (default 500ms)
 #   COUNT      go test -count (default 3)
 #   OUT        output path (default BENCH_<YYYY-MM-DD>.json)
+#   BASELINE   optional BENCH_*.json to diff against; the run fails if
+#              any common benchmark's mean ns/op regressed by >15%
+#              (rrsbench compare)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-ConvVsDFT|Streaming|Autocovariance|Profile1D|WeightArray|KernelTruncation|SamplerAblation}"
+BENCH="${BENCH:-ConvVsDFT|Streaming|Autocovariance|Profile1D|WeightArray|KernelTruncation|SamplerAblation|Inhomo}"
 BENCHTIME="${BENCHTIME:-500ms}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
+BASELINE="${BASELINE:-}"
 
 go test -run='^$' -bench="$BENCH" -benchmem -benchtime="$BENCHTIME" -count="$COUNT" . \
     | tee /dev/stderr \
     | go run ./cmd/rrsbench -o "$OUT"
 echo "bench.sh: wrote $OUT"
+
+if [[ -n "$BASELINE" ]]; then
+    echo "bench.sh: comparing against $BASELINE"
+    go run ./cmd/rrsbench compare "$BASELINE" "$OUT"
+fi

@@ -42,6 +42,8 @@ if [[ "$FUZZTIME" != "0" ]]; then
     echo "== fuzz smoke ($FUZZTIME each)"
     go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/grid
     go test -run='^$' -fuzz=FuzzParseScene -fuzztime="$FUZZTIME" ./internal/core
+    go test -run='^$' -fuzz=FuzzSupportMaskPlate -fuzztime="$FUZZTIME" ./internal/inhomo
+    go test -run='^$' -fuzz=FuzzSupportMaskPoint -fuzztime="$FUZZTIME" ./internal/inhomo
 fi
 
 echo "== all checks passed"
