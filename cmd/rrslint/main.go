@@ -1,7 +1,8 @@
 // Command rrslint runs the project-specific static analysis suite
-// (internal/lint) over this module: floatcmp, parpolicy, seedrand,
-// errdrop and mapordered. It is part of the scripts/check.sh
-// verification gate.
+// (internal/lint) over this module: the AST checks floatcmp,
+// parpolicy, seedrand, errdrop and mapordered, and the CFG dataflow
+// passes poolbalance, retainescape and goleak. It is part of the
+// scripts/check.sh verification gate.
 //
 // Usage:
 //

@@ -16,7 +16,10 @@ func TestListChecks(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
-	for _, want := range []string{"floatcmp", "parpolicy", "seedrand", "errdrop", "mapordered"} {
+	for _, want := range []string{
+		"floatcmp", "parpolicy", "seedrand", "errdrop", "mapordered",
+		"poolbalance", "retainescape", "goleak",
+	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q:\n%s", want, out.String())
 		}
@@ -62,6 +65,149 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	if len(diags) != 0 {
 		t.Errorf("own tree has %d findings", len(diags))
+	}
+}
+
+// chdir moves the process into dir for the duration of the test; the
+// CLI resolves patterns against os.Getwd, so these tests are not
+// parallel-safe and do not call t.Parallel.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpfixture\n\ngo 1.22\n"
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const leakySrc = `package tmpfixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+var keep []byte
+
+func Leak(cond bool) *[]byte {
+	b := pool.Get().(*[]byte)
+	if cond {
+		return nil
+	}
+	return b
+}
+
+func Orphan(fn func()) {
+	go fn()
+}
+
+func StashInto(dst []byte) {
+	keep = dst
+}
+`
+
+const silencedSrc = `package tmpfixture
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+var keep []byte
+
+func Leak(cond bool) *[]byte {
+	//lint:ignore poolbalance test fixture: leak is deliberate
+	b := pool.Get().(*[]byte)
+	if cond {
+		return nil
+	}
+	return b
+}
+
+func Orphan(fn func()) {
+	//lint:ignore goleak test fixture: orphan is deliberate
+	go fn()
+}
+
+func StashInto(dst []byte) {
+	//lint:ignore retainescape test fixture: retention is deliberate
+	keep = dst
+}
+`
+
+// TestNewPassesExitCode drives the CLI over a module where all three
+// CFG passes fire: exit 1, each pass named in the JSON findings.
+func TestNewPassesExitCode(t *testing.T) {
+	chdir(t, writeModule(t, map[string]string{"leaky.go": leakySrc}))
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "poolbalance,retainescape,goleak", "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	got := map[string]int{}
+	for _, d := range diags {
+		got[d.Check]++
+	}
+	for _, check := range []string{"poolbalance", "retainescape", "goleak"} {
+		if got[check] == 0 {
+			t.Errorf("check %s: no finding in %v", check, diags)
+		}
+	}
+}
+
+// TestNewPassesHonorIgnore is the same module with every finding
+// silenced by //lint:ignore: exit 0, empty JSON array.
+func TestNewPassesHonorIgnore(t *testing.T) {
+	chdir(t, writeModule(t, map[string]string{"leaky.go": silencedSrc}))
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "poolbalance,retainescape,goleak", "-json", "./..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("silenced module still has findings: %v", diags)
+	}
+}
+
+// TestSelfCheckExcludesTestdata pins that linting internal/lint itself
+// is clean: the fixture tree under testdata (full of deliberate
+// violations) must not leak into the real-package findings.
+func TestSelfCheckExcludesTestdata(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "../../internal/lint"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d on internal/lint\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/lint has %d findings (testdata leaking in?): %v", len(diags), diags)
 	}
 }
 

@@ -1,0 +1,509 @@
+package lint
+
+// cfg.go: a stdlib-only intra-procedural control-flow graph over
+// go/ast, the substrate for the dataflow passes (poolbalance,
+// retainescape, goleak). One CFG models one function body; function
+// literals get their own CFGs (their statements execute under a
+// different frame, possibly on a different goroutine).
+//
+// Shape:
+//
+//   - blocks hold "atoms" — simple statements and the conditions of
+//     branching constructs — in execution order. Composite statements
+//     (if/for/switch/select) are decomposed into edges, so no
+//     statement appears in more than one block.
+//   - a single normal-exit block models every return and the fall-off
+//     at the end of the body; a single panic block models panic(...)
+//     calls, empty selects, and malformed jumps. Passes that enforce
+//     an obligation "on every non-panic path" treat edges into the
+//     panic block as excused.
+//   - loop-head blocks remember the ForStmt/RangeStmt they head, so a
+//     pass can reason about "the loop whose trip count we cannot see"
+//     (see the join-in-loop crediting in goleak).
+//
+// Known approximations (see DESIGN.md §10): trip counts are opaque;
+// panics inside callees are invisible; os.Exit/log.Fatal and runtime.
+// Goexit are treated as ordinary calls; `defer` atoms stay at their
+// registration point, which is sound for the "registered before every
+// exit" obligations the passes check.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// blockKind distinguishes the two synthetic exit nodes from ordinary
+// straight-line blocks.
+type blockKind uint8
+
+const (
+	blockBody  blockKind = iota // straight-line code
+	blockExit                   // the single normal-exit node
+	blockPanic                  // the single panic / no-return node
+)
+
+// block is one CFG node.
+type block struct {
+	index int
+	kind  blockKind
+	nodes []ast.Node // simple statements and branch conditions, in order
+	succs []*block
+	loop  ast.Stmt // the ForStmt/RangeStmt this block heads, else nil
+}
+
+// cfg is the control-flow graph of one function body.
+type cfg struct {
+	blocks []*block
+	entry  *block
+	exit   *block
+	panicb *block
+}
+
+// labelTargets records the jump targets a label can name: the start of
+// the labeled statement (goto) and, once the labeled loop/switch is
+// built, its break and continue blocks.
+type labelTargets struct {
+	start *block // target of goto L
+	brk   *block // target of break L
+	cont  *block // target of continue L
+}
+
+type cfgBuilder struct {
+	c        *cfg
+	cur      *block
+	brk      *block // innermost break target
+	cont     *block // innermost continue target
+	fallto   *block // fallthrough target inside a switch clause
+	labels   map[string]*labelTargets
+	labelseq []*labelTargets // creation order, for the undefined-label sweep
+	curLabel *labelTargets   // label awaiting the statement it names
+}
+
+// buildCFG constructs the CFG of one function body. A nil body (a
+// declaration without a definition) yields entry → exit.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	c := &cfg{}
+	b := &cfgBuilder{c: c, labels: map[string]*labelTargets{}}
+	c.exit = b.newBlock(blockExit)
+	c.panicb = b.newBlock(blockPanic)
+	c.entry = b.newBlock(blockBody)
+	b.cur = c.entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.edge(b.cur, c.exit)
+	// A goto to a label that is never defined (parseable, type-invalid)
+	// leaves the label's start block dangling; route it to the panic
+	// block so the "every successor-less block is an exit" invariant
+	// holds on arbitrary parseable input.
+	for _, lt := range b.labelseq {
+		if len(lt.start.succs) == 0 {
+			b.edge(lt.start, c.panicb)
+		}
+	}
+	return c
+}
+
+func (b *cfgBuilder) newBlock(k blockKind) *block {
+	blk := &block{index: len(b.c.blocks), kind: k}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) fresh() *block { return b.newBlock(blockBody) }
+
+func (b *cfgBuilder) edge(from, to *block) {
+	from.succs = append(from.succs, to)
+}
+
+// terminate ends the current block with an edge to `to` and continues
+// into a fresh block that collects any dead code that follows; dead
+// blocks have no predecessors but still flow onward, so every block
+// without successors is one of the two exit nodes.
+func (b *cfgBuilder) terminate(to *block) {
+	b.edge(b.cur, to)
+	b.cur = b.fresh()
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.cur.nodes = append(b.cur.nodes, n)
+	}
+}
+
+// label returns the targets record for name, creating it (with a fresh
+// start block, for forward gotos) on first reference.
+func (b *cfgBuilder) label(name string) *labelTargets {
+	lt := b.labels[name]
+	if lt == nil {
+		lt = &labelTargets{start: b.fresh()}
+		b.labels[name] = lt
+		b.labelseq = append(b.labelseq, lt)
+	}
+	return lt
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	// A pending label binds only to the statement directly after it.
+	lbl := b.curLabel
+	b.curLabel = nil
+
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lt := b.label(s.Label.Name)
+		b.edge(b.cur, lt.start)
+		b.cur = lt.start
+		b.curLabel = lt
+		b.stmt(s.Stmt)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.terminate(b.c.exit)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.terminate(b.c.panicb)
+		}
+
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+
+	case *ast.IfStmt:
+		b.ifStmt(s)
+
+	case *ast.ForStmt:
+		b.forStmt(s, lbl)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, lbl)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, lbl, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.switchBody(s.Body, lbl, s.Assign)
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, lbl)
+
+	default:
+		// Assignments, declarations, sends, inc/dec, defer, go: one
+		// atom, no control effect at this point in the frame.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	var target *block
+	switch s.Tok {
+	case token.BREAK:
+		target = b.brk
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.brk != nil {
+				target = lt.brk
+			}
+		}
+	case token.CONTINUE:
+		target = b.cont
+		if s.Label != nil {
+			if lt := b.labels[s.Label.Name]; lt != nil && lt.cont != nil {
+				target = lt.cont
+			}
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			target = b.label(s.Label.Name).start
+		}
+	case token.FALLTHROUGH:
+		target = b.fallto
+	}
+	b.add(s)
+	if target == nil {
+		// Malformed jump (break outside a loop, fallthrough in the
+		// last clause, goto without label): execution cannot proceed
+		// in a legal program, so model it as no-return.
+		target = b.c.panicb
+	}
+	b.terminate(target)
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	head := b.cur
+	after := b.fresh()
+	thenB := b.fresh()
+	b.edge(head, thenB)
+	b.cur = thenB
+	b.stmt(s.Body)
+	b.edge(b.cur, after)
+	if s.Else != nil {
+		elseB := b.fresh()
+		b.edge(head, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt, lbl *labelTargets) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.fresh()
+	head.loop = s
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.fresh()
+	body := b.fresh()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	cont := head
+	if s.Post != nil {
+		cont = b.fresh()
+	}
+	saveBrk, saveCont := b.brk, b.cont
+	b.brk, b.cont = after, cont
+	if lbl != nil {
+		lbl.brk, lbl.cont = after, cont
+	}
+	b.cur = body
+	b.stmt(s.Body)
+	if s.Post != nil {
+		b.edge(b.cur, cont)
+		b.cur = cont
+		b.add(s.Post)
+		b.edge(cont, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	b.brk, b.cont = saveBrk, saveCont
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt, lbl *labelTargets) {
+	b.add(s.X) // the ranged expression is evaluated once, before the loop
+	head := b.fresh()
+	head.loop = s
+	b.edge(b.cur, head)
+	after := b.fresh()
+	body := b.fresh()
+	b.edge(head, body)
+	b.edge(head, after)
+	saveBrk, saveCont := b.brk, b.cont
+	b.brk, b.cont = after, head
+	if lbl != nil {
+		lbl.brk, lbl.cont = after, head
+	}
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.brk, b.cont = saveBrk, saveCont
+	b.cur = after
+}
+
+// switchBody builds the clause fan-out shared by expression and type
+// switches; assign is the type switch's `x := y.(type)` statement.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, lbl *labelTargets, assign ast.Stmt) {
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.fresh()
+	saveBrk, saveFall := b.brk, b.fallto
+	b.brk = after
+	if lbl != nil {
+		lbl.brk = after
+	}
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blks := make([]*block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blks[i] = b.fresh()
+		b.edge(head, blks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after) // no clause matched
+	}
+	for i, cc := range clauses {
+		b.cur = blks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if i+1 < len(clauses) {
+			b.fallto = blks[i+1]
+		} else {
+			b.fallto = nil
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.brk, b.fallto = saveBrk, saveFall
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt, lbl *labelTargets) {
+	head := b.cur
+	after := b.fresh()
+	saveBrk := b.brk
+	b.brk = after
+	if lbl != nil {
+		lbl.brk = after
+	}
+	n := 0
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		n++
+		blk := b.fresh()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.add(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	if n == 0 {
+		// select{} blocks forever: modeled as no-return.
+		b.edge(head, b.c.panicb)
+	}
+	b.brk = saveBrk
+	b.cur = after
+}
+
+// isPanicCall reports whether e is a direct call to the builtin panic.
+// Shadowing `panic` defeats this (and deserves what it gets).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// leaks reports whether some execution path starting at node index idx
+// of block start reaches the normal exit without first hitting an atom
+// that satisfy() accepts. Edges into the panic block are excused — the
+// obligations the passes check are "on every non-panic path". When
+// loopSat is non-nil and a loop-head block is reached, loopSat decides
+// whether the loop it heads discharges the obligation for every path
+// through it (the trip count is opaque to an intra-procedural
+// analysis, so a join/Put inside a loop body is credited to the loop's
+// exit edge by the caller's policy, not by path enumeration).
+func (c *cfg) leaks(start *block, idx int, satisfy func(ast.Node) bool, loopSat func(ast.Stmt) bool) bool {
+	type item struct {
+		blk *block
+		idx int
+	}
+	visited := make([]bool, len(c.blocks))
+	stack := []item{{start, idx}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blk := it.blk
+		if it.idx == 0 && blk.loop != nil && loopSat != nil && loopSat(blk.loop) {
+			continue
+		}
+		done := false
+		for i := it.idx; i < len(blk.nodes); i++ {
+			if satisfy(blk.nodes[i]) {
+				done = true
+				break
+			}
+		}
+		if done {
+			continue
+		}
+		for _, s := range blk.succs {
+			switch s.kind {
+			case blockExit:
+				return true
+			case blockPanic:
+				// excused
+			default:
+				if !visited[s.index] {
+					visited[s.index] = true
+					stack = append(stack, item{s, 0})
+				}
+			}
+		}
+	}
+	return false
+}
+
+// eachFuncBody invokes fn for every function, method, and function
+// literal body in the unit. Each body is its own CFG domain.
+func (p *pass) eachFuncBody(fn func(body *ast.BlockStmt)) {
+	for _, f := range p.unit.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// function literals: their statements run under a different frame
+// (often a different goroutine), so events inside them must not be
+// credited to the enclosing function's paths.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,363 @@
+package lint
+
+// White-box tests for the CFG substrate: structural expectations on
+// hand-built bodies, direct exercises of the leaks() path search, and
+// FuzzCFG, which asserts the graph invariants on arbitrary parseable
+// input (the builder must never need type information).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBodies parses src as a whole file and returns every
+// function and function-literal body in source order.
+func parseFuncBodies(tb testing.TB, src string) []*ast.BlockStmt {
+	tb.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// bodyCFG wraps stmts in a function and builds its CFG.
+func bodyCFG(tb testing.TB, stmts string) *cfg {
+	tb.Helper()
+	bodies := parseFuncBodies(tb, "package p\n\nfunc f() {\n"+stmts+"\n}\n")
+	if len(bodies) == 0 {
+		tb.Fatal("no function body parsed")
+	}
+	return buildCFG(bodies[0])
+}
+
+func TestCFGLinear(t *testing.T) {
+	c := bodyCFG(t, "x := 1\ny := x\n_ = y")
+	if len(c.entry.nodes) != 3 {
+		t.Fatalf("entry atoms: got %d, want 3", len(c.entry.nodes))
+	}
+	if len(c.entry.succs) != 1 || c.entry.succs[0] != c.exit {
+		t.Fatalf("entry succs: got %v, want [exit]", c.entry.succs)
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	c := bodyCFG(t, "x := 1\nreturn\n_ = x")
+	// The return ends the entry block with a single edge to exit; the
+	// dead statement after it lands in a fresh block that still flows
+	// to exit (terminate's dead-code rule).
+	if got := c.entry.nodes[len(c.entry.nodes)-1]; true {
+		if _, ok := got.(*ast.ReturnStmt); !ok {
+			t.Fatalf("last entry atom: got %T, want *ast.ReturnStmt", got)
+		}
+	}
+	if len(c.entry.succs) != 1 || c.entry.succs[0] != c.exit {
+		t.Fatalf("entry succs: got %v, want [exit]", c.entry.succs)
+	}
+}
+
+func TestCFGIfElseJoins(t *testing.T) {
+	c := bodyCFG(t, "if x := 1; x > 0 {\n_ = x\n} else {\n_ = -x\n}")
+	// Head carries init+cond and fans out to then and else.
+	if len(c.entry.succs) != 2 {
+		t.Fatalf("if head succs: got %d, want 2", len(c.entry.succs))
+	}
+	for _, s := range c.entry.succs {
+		if len(s.succs) != 1 {
+			t.Fatalf("branch block succs: got %d, want 1 (the join)", len(s.succs))
+		}
+	}
+	if c.entry.succs[0].succs[0] != c.entry.succs[1].succs[0] {
+		t.Fatal("then and else do not join at the same block")
+	}
+}
+
+func TestCFGPanicRoutesToPanicBlock(t *testing.T) {
+	c := bodyCFG(t, "if bad {\npanic(\"boom\")\n}\nok()")
+	found := false
+	for _, blk := range c.blocks {
+		for _, s := range blk.succs {
+			if s == c.panicb {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no edge into the panic block")
+	}
+	if len(c.panicb.succs) != 0 || len(c.panicb.nodes) != 0 {
+		t.Fatal("panic block must stay empty and terminal")
+	}
+}
+
+func TestCFGLoopHeadsRecordTheirLoop(t *testing.T) {
+	c := bodyCFG(t, "for i := 0; i < n; i++ {\nuse(i)\n}\nfor range ch {\n}")
+	var forHead, rangeHead bool
+	for _, blk := range c.blocks {
+		switch blk.loop.(type) {
+		case *ast.ForStmt:
+			forHead = true
+		case *ast.RangeStmt:
+			rangeHead = true
+		}
+	}
+	if !forHead || !rangeHead {
+		t.Fatalf("loop heads recorded: for=%v range=%v, want both", forHead, rangeHead)
+	}
+}
+
+func TestCFGEmptySelectIsNoReturn(t *testing.T) {
+	c := bodyCFG(t, "setup()\nselect {}\nunreachable()")
+	if len(c.entry.succs) != 1 || c.entry.succs[0] != c.panicb {
+		t.Fatalf("select{} head succs: got %v, want [panic]", c.entry.succs)
+	}
+}
+
+func TestCFGUndefinedGotoLabel(t *testing.T) {
+	// Parseable but type-invalid: goto to a label that never appears.
+	// The dangling label start must be routed to the panic block so no
+	// body block is successor-less.
+	c := bodyCFG(t, "goto L")
+	for _, blk := range c.blocks {
+		if len(blk.succs) == 0 && blk.kind == blockBody {
+			t.Fatalf("block %d: body block with no successors", blk.index)
+		}
+	}
+}
+
+// exprStmtCalling matches an ExprStmt atom calling the named function.
+func exprStmtCalling(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return false
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+func TestLeaks(t *testing.T) {
+	tests := []struct {
+		name  string
+		stmts string
+		want  bool // does the obligation started at entry atom 0 leak?
+	}{
+		{"satisfied straight line", "acquire()\nrelease()", false},
+		{"early return skips", "acquire()\nif c {\nreturn\n}\nrelease()", true},
+		{"both branches satisfy", "acquire()\nif c {\nrelease()\nreturn\n}\nrelease()", false},
+		{"panic path excused", "acquire()\nif c {\npanic(\"x\")\n}\nrelease()", false},
+		{"no release at all", "acquire()\nwork()", true},
+		{"release only in loop body", "acquire()\nfor i := 0; i < n; i++ {\nrelease()\n}", true},
+		{"release after loop", "acquire()\nfor i := 0; i < n; i++ {\nwork()\n}\nrelease()", false},
+		{"release in one switch clause", "acquire()\nswitch v {\ncase 1:\nrelease()\ncase 2:\nwork()\n}", true},
+		{"release in every clause and default", "acquire()\nswitch v {\ncase 1:\nrelease()\ndefault:\nrelease()\n}", false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := bodyCFG(t, tc.stmts)
+			got := c.leaks(c.entry, 1, exprStmtCalling("release"), nil)
+			if got != tc.want {
+				t.Errorf("leaks = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestLeaksLoopCredit(t *testing.T) {
+	// The counted-collect idiom: the satisfying atom sits in a loop
+	// body whose trip count the CFG cannot see. Without loopSat the
+	// zero-trip path leaks; with loopSat crediting loops that contain a
+	// release, it does not.
+	c := bodyCFG(t, "acquire()\nfor i := 0; i < n; i++ {\nrelease()\n}")
+	sat := exprStmtCalling("release")
+	if !c.leaks(c.entry, 1, sat, nil) {
+		t.Fatal("without loop credit: want leak on the zero-trip path")
+	}
+	loopSat := func(s ast.Stmt) bool {
+		f, ok := s.(*ast.ForStmt)
+		if !ok {
+			return false
+		}
+		found := false
+		inspectShallow(f.Body, func(n ast.Node) bool {
+			if sat(n) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	if c.leaks(c.entry, 1, sat, loopSat) {
+		t.Fatal("with loop credit: the loop discharges the obligation")
+	}
+}
+
+// checkCFGInvariants asserts everything buildCFG guarantees for any
+// parseable body, typed or not.
+func checkCFGInvariants(tb testing.TB, c *cfg) {
+	tb.Helper()
+	if c.exit == nil || c.panicb == nil || c.entry == nil {
+		tb.Fatal("cfg missing a distinguished block")
+	}
+	if c.exit.kind != blockExit || c.panicb.kind != blockPanic || c.entry.kind != blockBody {
+		tb.Fatal("distinguished block kinds wrong")
+	}
+	if len(c.exit.succs) != 0 || len(c.exit.nodes) != 0 ||
+		len(c.panicb.succs) != 0 || len(c.panicb.nodes) != 0 {
+		tb.Fatal("exit/panic blocks must be empty and terminal")
+	}
+	seen := map[ast.Node]bool{}
+	for i, blk := range c.blocks {
+		if blk.index != i {
+			tb.Fatalf("block %d carries index %d", i, blk.index)
+		}
+		if len(blk.succs) == 0 && blk.kind == blockBody {
+			tb.Fatalf("block %d: body block with no successors", i)
+		}
+		for _, s := range blk.succs {
+			if s == nil || s.index < 0 || s.index >= len(c.blocks) || c.blocks[s.index] != s {
+				tb.Fatalf("block %d: successor not in graph", i)
+			}
+		}
+		for _, n := range blk.nodes {
+			if n == nil {
+				tb.Fatalf("block %d: nil atom", i)
+			}
+			if seen[n] {
+				tb.Fatalf("block %d: atom appears in more than one block", i)
+			}
+			seen[n] = true
+		}
+	}
+	// Every block reachable from the entry either reaches an exit node
+	// or sits in a region of the graph that must contain a cycle (every
+	// block in its reachable set has a successor): no silent dead ends.
+	reach := make([]bool, len(c.blocks))
+	var stack []*block
+	push := func(b *block) {
+		if !reach[b.index] {
+			reach[b.index] = true
+			stack = append(stack, b)
+		}
+	}
+	push(c.entry)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.succs {
+			push(s)
+		}
+	}
+	for i, blk := range c.blocks {
+		if !reach[i] || blk.kind != blockBody {
+			continue
+		}
+		sub := make([]bool, len(c.blocks))
+		var q []*block
+		grow := func(b *block) {
+			if !sub[b.index] {
+				sub[b.index] = true
+				q = append(q, b)
+			}
+		}
+		grow(blk)
+		exits := false
+		for len(q) > 0 {
+			b := q[len(q)-1]
+			q = q[:len(q)-1]
+			if b.kind != blockBody {
+				exits = true
+				break
+			}
+			for _, s := range b.succs {
+				grow(s)
+			}
+		}
+		if !exits {
+			// No exit in reach: legal only as an infinite loop, which
+			// requires every block in the closed region to flow onward.
+			for j, in := range sub {
+				if in && len(c.blocks[j].succs) == 0 {
+					tb.Fatalf("block %d: reaches neither an exit nor a cycle", i)
+				}
+			}
+		}
+	}
+}
+
+// cfgShape renders the graph structure for determinism comparison.
+func cfgShape(c *cfg) string {
+	var sb strings.Builder
+	for _, blk := range c.blocks {
+		fmt.Fprintf(&sb, "%d k%d n%d:", blk.index, blk.kind, len(blk.nodes))
+		for _, s := range blk.succs {
+			fmt.Fprintf(&sb, " %d", s.index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc f() {}\n",
+		"package p\nfunc f(c bool) int {\nif c {\nreturn 1\n}\nreturn 0\n}\n",
+		"package p\nfunc f(n int) {\nfor i := 0; i < n; i++ {\nif i == 3 {\nbreak\n}\n}\n}\n",
+		"package p\nfunc f(m map[int]int) {\nouter:\nfor k := range m {\nswitch k {\ncase 0:\ncontinue outer\ncase 1:\nfallthrough\ncase 2:\nbreak outer\ndefault:\npanic(\"k\")\n}\n}\n}\n",
+		"package p\nfunc f(a, b chan int) int {\nselect {\ncase v := <-a:\nreturn v\ncase b <- 1:\n}\nselect {}\n}\n",
+		"package p\nfunc f() {\ndefer cleanup()\ngo func() {\nfor {\n}\n}()\n}\n",
+		"package p\nfunc f(x any) {\nswitch v := x.(type) {\ncase int:\n_ = v\n}\n}\n",
+		"package p\nfunc f() {\ngoto L\n}\n", // undefined label: parseable, type-invalid
+		"package p\nfunc f(n int) {\nL:\nif n > 0 {\nn--\ngoto L\n}\n}\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			}
+			if body == nil {
+				return true
+			}
+			c := buildCFG(body)
+			checkCFGInvariants(t, c)
+			if got, again := cfgShape(c), cfgShape(buildCFG(body)); got != again {
+				t.Fatalf("rebuild not deterministic:\n%s\nvs\n%s", got, again)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,116 @@
+package lint
+
+// goleak: every goroutine launched outside internal/par must have a
+// join edge — a WaitGroup-style Wait, a channel receive, or a
+// range-over-channel drain — on every non-panic path from the launch
+// to the function's return. This subsumes and extends parpolicy:
+// parpolicy says raw fan-out belongs in internal/par as a matter of
+// policy (and is silenced in stress tests that deliberately hammer
+// shared state), while goleak checks the thing that actually corrupts
+// statistics — a goroutine that outlives its launcher keeps writing
+// into buffers the caller has already handed to a pool or reused.
+//
+// Join events on a path:
+//
+//   - a call to any method named Wait (sync.WaitGroup, errgroup-style
+//     collectors), directly or inside a registered defer
+//   - a channel receive expression `<-ch` (including in select comm
+//     clauses and if-statement initializers)
+//   - a loop that performs one of the above in its body, credited to
+//     the loop's exit edge (the `for i := 0; i < n; i++ { <-done }`
+//     collect idiom; trip counts are opaque to the CFG)
+//   - ranging over a channel
+//
+// internal/par itself is exempt: it is the one place that is allowed
+// to own goroutine lifecycles, and its For/ForEach/Dynamic all join
+// via WaitGroup before returning anyway.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runGoleak(p *pass) {
+	if p.unit.Dir == "internal/par" {
+		return
+	}
+	p.eachFuncBody(func(body *ast.BlockStmt) {
+		c := buildCFG(body)
+		for _, blk := range c.blocks {
+			for i, n := range blk.nodes {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if c.leaks(blk, i+1, p.joinEvent, p.loopJoins) {
+					p.reportf(g.Go, "goleak",
+						"goroutine may have no join on some path to return; add a WaitGroup.Wait or channel receive on every exit")
+				}
+			}
+		}
+	})
+}
+
+// joinEvent reports whether atom n joins a goroutine: a receive
+// expression or a Wait method call. Defers are searched in full (a
+// registered `defer wg.Wait()` guards every exit); other atoms stop at
+// function literals.
+func (p *pass) joinEvent(n ast.Node) bool {
+	walk := inspectShallow
+	if _, ok := n.(*ast.DeferStmt); ok {
+		walk = func(n ast.Node, f func(ast.Node) bool) {
+			ast.Inspect(n, func(m ast.Node) bool { return m == nil || f(m) })
+		}
+	}
+	found := false
+	walk(n, func(m ast.Node) bool {
+		if isJoinExpr(m) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isJoinExpr recognizes the two expression-level join forms.
+func isJoinExpr(m ast.Node) bool {
+	switch m := m.(type) {
+	case *ast.UnaryExpr:
+		return m.Op == token.ARROW
+	case *ast.CallExpr:
+		sel, ok := m.Fun.(*ast.SelectorExpr)
+		return ok && sel.Sel.Name == "Wait"
+	}
+	return false
+}
+
+// loopJoins decides whether the loop headed by s discharges the join
+// obligation for every path through it: ranging over a channel blocks
+// until the goroutine closes it, and a receive or Wait in the body is
+// the counted-collect idiom whose trip count the CFG cannot see.
+func (p *pass) loopJoins(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.RangeStmt:
+		if tv, ok := p.unit.Info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+		return p.bodyJoins(s.Body)
+	case *ast.ForStmt:
+		return p.bodyJoins(s.Body)
+	}
+	return false
+}
+
+func (p *pass) bodyJoins(body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(m ast.Node) bool {
+		if isJoinExpr(m) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -2,11 +2,18 @@
 // for this repository. It enforces invariants the compiler cannot see
 // but the paper's statistics depend on:
 //
-//	floatcmp   — no exact ==/!= between float or complex values
-//	parpolicy  — parallel fan-out only via internal/par
-//	seedrand   — math/rand only inside internal/rng (reproducibility)
-//	errdrop    — no discarded errors from this module's own APIs
-//	mapordered — no order-dependent work inside map iteration
+//	floatcmp     — no exact ==/!= between float or complex values
+//	parpolicy    — parallel fan-out only via internal/par
+//	seedrand     — math/rand only inside internal/rng (reproducibility)
+//	errdrop      — no discarded errors from this module's own APIs
+//	mapordered   — no order-dependent work inside map iteration
+//
+// Three passes run dataflow over a control-flow graph (cfg.go) instead
+// of walking the AST, because their invariants are path properties:
+//
+//	poolbalance  — sync.Pool.Get balanced by Put on every non-panic path
+//	retainescape — Into/GenerateAt destination buffers never retained
+//	goleak       — goroutines joined on every path out of their launcher
 //
 // Any single finding can be silenced in source with a justification:
 //
@@ -60,13 +67,16 @@ var allChecks = []check{
 	{"seedrand", "math/rand usage outside internal/rng", runSeedrand},
 	{"errdrop", "discarded error results from module-internal APIs", runErrdrop},
 	{"mapordered", "order-dependent work inside map iteration", runMapordered},
+	{"poolbalance", "sync.Pool.Get without a matching Put on some non-panic path", runPoolbalance},
+	{"retainescape", "caller-owned Into/GenerateAt buffer retained beyond the call", runRetainescape},
+	{"goleak", "goroutine without a join on every path out of its launcher", runGoleak},
 }
 
 // CheckNames lists every registered check with its one-line doc.
 func CheckNames() []string {
 	out := make([]string, len(allChecks))
 	for i, c := range allChecks {
-		out[i] = fmt.Sprintf("%-10s %s", c.name, c.doc)
+		out[i] = fmt.Sprintf("%-12s %s", c.name, c.doc)
 	}
 	return out
 }

@@ -61,6 +61,24 @@ func TestChecks(t *testing.T) {
 			"mapordered/mapordered.go:12 mapordered",
 			"mapordered/mapordered.go:28 mapordered",
 		}},
+		{"poolbalance", "poolbalance", []string{
+			"poolbalance/poolbalance.go:13 poolbalance",
+			"poolbalance/poolbalance.go:22 poolbalance",
+		}},
+		{"retainescape", "retainescape", []string{
+			"retainescape/retainescape.go:22 retainescape",
+			"retainescape/retainescape.go:30 retainescape",
+			"retainescape/retainescape.go:36 retainescape",
+			"retainescape/retainescape.go:41 retainescape",
+			"retainescape/retainescape.go:46 retainescape",
+		}},
+		{"goleak", "goleak", []string{
+			"goleak/goleak.go:11 goleak",
+			"goleak/goleak.go:17 goleak",
+		}},
+		// parpolicy's fixture joins every goroutine through wg.Wait, so
+		// the CFG pass must stay quiet on it even though parpolicy fires.
+		{"parpolicy", "goleak", nil},
 		{"ignore", "floatcmp", []string{
 			"ignore/ignore.go:16 floatcmp",
 			"ignore/ignore.go:20 directive",
@@ -74,6 +92,9 @@ func TestChecks(t *testing.T) {
 		{"clean", "seedrand", nil},
 		{"clean", "errdrop", nil},
 		{"clean", "mapordered", nil},
+		{"clean", "poolbalance", nil},
+		{"clean", "retainescape", nil},
+		{"clean", "goleak", nil},
 	}
 	for _, tc := range tests {
 		t.Run(tc.dir+"/"+tc.check, func(t *testing.T) {
@@ -106,20 +127,23 @@ func TestAllChecksOnFixtureTree(t *testing.T) {
 		perCheck[d.Check]++
 	}
 	want := map[string]int{
-		"floatcmp":   7, // 5 in floatcmp fixture + 2 unsilenced in ignore fixture
-		"parpolicy":  2,
-		"seedrand":   1,
-		"errdrop":    4,
-		"mapordered": 2,
-		"directive":  1,
+		"floatcmp":     7, // 5 in floatcmp fixture + 2 unsilenced in ignore fixture
+		"parpolicy":    8, // 2 in parpolicy fixture + 6 raw goroutines/WaitGroup in goleak fixture
+		"seedrand":     1,
+		"errdrop":      4,
+		"mapordered":   2,
+		"directive":    1,
+		"poolbalance":  2,
+		"retainescape": 5,
+		"goleak":       2,
 	}
 	for check, n := range want {
 		if perCheck[check] != n {
 			t.Errorf("check %s: got %d findings, want %d (all: %v)", check, perCheck[check], n, diags)
 		}
 	}
-	if len(diags) != 17 {
-		t.Errorf("total findings: got %d, want 17: %v", len(diags), diags)
+	if len(diags) != 32 {
+		t.Errorf("total findings: got %d, want 32: %v", len(diags), diags)
 	}
 }
 
@@ -151,7 +175,7 @@ func TestDiagnosticJSON(t *testing.T) {
 // TestCheckNames pins the registered suite.
 func TestCheckNames(t *testing.T) {
 	names := lint.CheckNames()
-	if len(names) != 5 {
-		t.Fatalf("got %d checks, want 5: %v", len(names), names)
+	if len(names) != 8 {
+		t.Fatalf("got %d checks, want 8: %v", len(names), names)
 	}
 }

@@ -40,21 +40,9 @@ func runMapordered(p *pass) {
 	}
 }
 
-// walkShallow visits the statements of one function body without
-// descending into nested function literals (they are visited as their
-// own bodies, with their own sort context).
-func walkShallow(n ast.Node, fn func(ast.Node) bool) {
-	ast.Inspect(n, func(m ast.Node) bool {
-		if _, ok := m.(*ast.FuncLit); ok && m != n {
-			return false
-		}
-		return fn(m)
-	})
-}
-
 func (p *pass) checkFuncBody(body *ast.BlockStmt) {
 	sorted := sortedSliceNames(body)
-	walkShallow(body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
@@ -75,7 +63,7 @@ func (p *pass) checkFuncBody(body *ast.BlockStmt) {
 // slices.Sort* anywhere in the function body.
 func sortedSliceNames(body *ast.BlockStmt) map[string]bool {
 	names := map[string]bool{}
-	walkShallow(body, func(n ast.Node) bool {
+	inspectShallow(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok || len(call.Args) == 0 {
 			return true
@@ -103,7 +91,7 @@ func sortedSliceNames(body *ast.BlockStmt) map[string]bool {
 
 func (p *pass) checkMapRange(rs *ast.RangeStmt, sorted map[string]bool) {
 	reported := false
-	walkShallow(rs.Body, func(n ast.Node) bool {
+	inspectShallow(rs.Body, func(n ast.Node) bool {
 		if reported {
 			return false
 		}

@@ -23,7 +23,7 @@ func runParpolicy(p *pass) {
 				p.reportf(n.Go, "parpolicy",
 					"raw go statement outside internal/par; route fan-out through par.For/par.ForEach")
 			case *ast.Ident:
-				if obj, ok := p.unit.Info.Defs[n].(*types.Var); ok && isWaitGroup(obj.Type()) {
+				if obj, ok := p.unit.Info.Defs[n].(*types.Var); ok && isSyncType(obj.Type(), "WaitGroup") {
 					p.reportf(n.Pos(), "parpolicy",
 						"sync.WaitGroup outside internal/par; parallelism policy lives in internal/par")
 				}
@@ -31,16 +31,4 @@ func runParpolicy(p *pass) {
 			return true
 		})
 	}
-}
-
-func isWaitGroup(t types.Type) bool {
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
 }

@@ -1,0 +1,194 @@
+package lint
+
+// poolbalance: every sync.Pool.Get in module code must reach a
+// matching Put on all non-panic paths out of the function, or hand the
+// value to its caller (a wrapper like fft's getScratch returns the
+// pooled buffer; the caller then owns the Put). An unbalanced Get
+// silently degrades the arena pools the generation hot paths depend on
+// (DESIGN.md §8–§9): the pool refills through New, so nothing crashes —
+// steady-state allocation just creeps back in, and a retained buffer
+// can later be handed to a concurrent caller while still referenced.
+//
+// Matching is per pool, keyed by the printed receiver expression
+// (`g.arenas`, `p.scratch`), per function. Satisfying events on a path:
+//
+//   - pool.Put(...) on the same pool, as a statement or inside a defer
+//     (including defers of closures: `defer func() { pool.Put(x) }()`)
+//   - return of the Get'd value to the caller
+//
+// A Get whose result is discarded outright (`pool.Get()` as a
+// statement) is always a finding. Paths that end in panic are excused.
+// Known approximations are documented in DESIGN.md §10.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func runPoolbalance(p *pass) {
+	p.eachFuncBody(func(body *ast.BlockStmt) {
+		c := buildCFG(body)
+		for _, blk := range c.blocks {
+			for i, n := range blk.nodes {
+				p.checkPoolGets(c, blk, i, n)
+			}
+		}
+	})
+}
+
+// checkPoolGets analyzes every sync.Pool.Get call inside atom n.
+func (p *pass) checkPoolGets(c *cfg, blk *block, idx int, n ast.Node) {
+	if _, ok := n.(*ast.ReturnStmt); ok {
+		// `return pool.Get().(*T)`: ownership transfers to the caller.
+		return
+	}
+	var gets []*ast.CallExpr
+	inspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if _, ok := p.poolMethodKey(call, "Get"); ok {
+				gets = append(gets, call)
+			}
+		}
+		return true
+	})
+	for _, call := range gets {
+		key, _ := p.poolMethodKey(call, "Get")
+		if es, ok := n.(*ast.ExprStmt); ok && unwrapValue(es.X) == call {
+			p.reportf(call.Pos(), "poolbalance",
+				"result of %s.Get discarded: the pooled buffer is lost to the collector", key)
+			continue
+		}
+		obj := getResultObj(p, n, call)
+		satisfy := func(m ast.Node) bool {
+			if p.putsPool(m, key) {
+				return true
+			}
+			ret, ok := m.(*ast.ReturnStmt)
+			return ok && obj != nil && mentionsObj(p, ret, obj)
+		}
+		if c.leaks(blk, idx+1, satisfy, nil) {
+			p.reportf(call.Pos(), "poolbalance",
+				"%s.Get may reach a non-panic exit without a matching Put", key)
+		}
+	}
+}
+
+// poolMethodKey resolves call as a direct sync.Pool method invocation
+// of the given name, returning the printed pool expression that keys
+// Get/Put matching.
+func (p *pass) poolMethodKey(call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.unit.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isSyncType(sig.Recv().Type(), "Pool") {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// putsPool reports whether atom n performs a Put on the pool keyed by
+// key. Defer atoms are searched in full — including deferred closures —
+// because a registered defer runs on every exit of the frame; all
+// other atoms stop at function literals (a Put inside `go func(){...}`
+// is another goroutine's business).
+func (p *pass) putsPool(n ast.Node, key string) bool {
+	walk := inspectShallow
+	if _, ok := n.(*ast.DeferStmt); ok {
+		walk = func(n ast.Node, f func(ast.Node) bool) {
+			ast.Inspect(n, func(m ast.Node) bool { return m == nil || f(m) })
+		}
+	}
+	found := false
+	walk(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if k, ok := p.poolMethodKey(call, "Put"); ok && k == key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// getResultObj resolves the variable the Get result is bound to, when
+// atom n is an assignment or declaration; nil when the value cannot be
+// tracked (then only a Put on the same pool can balance the path).
+func getResultObj(p *pass, n ast.Node, call *ast.CallExpr) types.Object {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+			if id, ok := n.Lhs[0].(*ast.Ident); ok {
+				return p.objOf(id)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && len(gd.Specs) == 1 {
+			if vs, ok := gd.Specs[0].(*ast.ValueSpec); ok && len(vs.Names) >= 1 {
+				return p.objOf(vs.Names[0])
+			}
+		}
+	}
+	_ = call
+	return nil
+}
+
+// objOf resolves an identifier to its object, whether the ident
+// defines it (:=) or uses it (=).
+func (p *pass) objOf(id *ast.Ident) types.Object {
+	if obj := p.unit.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.unit.Info.Uses[id]
+}
+
+// mentionsObj reports whether any result expression of ret refers to
+// obj — the "returned to a caller who owns it" escape hatch.
+func mentionsObj(p *pass, ret *ast.ReturnStmt, obj types.Object) bool {
+	found := false
+	for _, r := range ret.Results {
+		inspectShallow(r, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && p.objOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// unwrapValue strips parens and type assertions: `pool.Get().(*T)`
+// carries the same value as `pool.Get()`.
+func unwrapValue(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// isSyncType reports whether t is sync.<name> or a pointer to it.
+func isSyncType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == name
+}

@@ -1,0 +1,206 @@
+package lint
+
+// retainescape: destination buffers passed to `...Into` and
+// `GenerateAt...` functions are caller-owned (DESIGN.md §8–§9): the
+// callee may write through them during the call but must not retain
+// them. A retained dst aliases memory the caller will reuse — the next
+// GenerateAtInto into the same grid silently rewrites whatever the
+// retainer later reads, which is exactly the nondeterministic
+// statistics corruption this suite exists to keep out of the pipeline.
+//
+// Scope: exported-contract functions, selected by name (suffix "Into"
+// or prefix "GenerateAt"), over their slice- and pointer-typed
+// parameters. Flagged sinks for a parameter or any local alias of it
+// (x := dst, x := dst[a:b], x := out.Data):
+//
+//   - stores into struct fields or elements reached through one
+//   - stores into package-level variables
+//   - channel sends
+//   - sync.Pool.Put — handing a caller-owned buffer to a pooled arena
+//     lets a future Get return memory the caller still owns
+//
+// Writing element values through the buffer (dst[i] = v, copy(dst, s))
+// is the contract and is never flagged. The analysis is intra-
+// procedural: passing the buffer onward to another function is allowed
+// (the callee is itself in scope if it is part of the contract).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+func runRetainescape(p *pass) {
+	for _, f := range p.unit.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if !strings.HasSuffix(name, "Into") && !strings.HasPrefix(name, "GenerateAt") {
+				continue
+			}
+			p.checkRetain(fd)
+		}
+	}
+}
+
+func (p *pass) checkRetain(fd *ast.FuncDecl) {
+	owned := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, id := range field.Names {
+				obj := p.unit.Info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				switch obj.Type().Underlying().(type) {
+				case *types.Slice, *types.Pointer:
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	if len(owned) == 0 {
+		return
+	}
+
+	// Grow the alias set to a fixed point: locals assigned from an
+	// alias view the same backing memory. Function literals are
+	// included — a closure is still this call's code.
+	aliases := make(map[types.Object]bool, len(owned))
+	for obj := range owned {
+		aliases[obj] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				if !p.aliasExpr(as.Rhs[i], aliases) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.objOf(id)
+				if obj == nil || aliases[obj] || p.isPackageLevel(obj) {
+					continue // package-level stores are the violation scan's business
+				}
+				aliases[obj] = true
+				changed = true
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i := range n.Rhs {
+				if !p.aliasExpr(n.Rhs[i], aliases) {
+					continue
+				}
+				if kind, ok := p.retainTarget(n.Lhs[i]); ok {
+					p.reportf(n.Pos(), "retainescape",
+						"caller-owned buffer of %s stored into %s; Into/GenerateAt destinations must not outlive the call",
+						fd.Name.Name, kind)
+				}
+			}
+		case *ast.SendStmt:
+			if p.aliasExpr(n.Value, aliases) {
+				p.reportf(n.Arrow, "retainescape",
+					"caller-owned buffer of %s sent on a channel; Into/GenerateAt destinations must not outlive the call",
+					fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			if _, ok := p.poolMethodKey(n, "Put"); ok && len(n.Args) == 1 && p.aliasExpr(n.Args[0], aliases) {
+				p.reportf(n.Pos(), "retainescape",
+					"caller-owned buffer of %s returned to a sync.Pool arena; a future Get would hand out memory the caller still owns",
+					fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// aliasExpr reports whether e denotes (a view of) a caller-owned
+// buffer: an alias identifier, a reslice of one, a reference-typed
+// field or element of one, or the address of an element.
+func (p *pass) aliasExpr(e ast.Expr, aliases map[types.Object]bool) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := p.objOf(e)
+		return obj != nil && aliases[obj]
+	case *ast.SliceExpr:
+		return p.aliasExpr(e.X, aliases)
+	case *ast.SelectorExpr:
+		return p.refTyped(e) && p.aliasExpr(e.X, aliases)
+	case *ast.IndexExpr:
+		return p.refTyped(e) && p.aliasExpr(e.X, aliases)
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		base := ast.Unparen(e.X)
+		if idx, ok := base.(*ast.IndexExpr); ok {
+			base = idx.X // &dst[i] pins dst's backing array
+		}
+		return p.aliasExpr(base, aliases)
+	}
+	return false
+}
+
+// refTyped reports whether e's type shares backing memory when copied
+// (slice or pointer); selecting a float out of an owned grid is not an
+// alias, selecting its Data slice is.
+func (p *pass) refTyped(e ast.Expr) bool {
+	tv, ok := p.unit.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+// retainTarget classifies an assignment destination that outlives the
+// call: a struct field (or an element reached through one) or a
+// package-level variable.
+func (p *pass) retainTarget(lhs ast.Expr) (string, bool) {
+	e := ast.Unparen(lhs)
+	for {
+		idx, ok := e.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		e = ast.Unparen(idx.X)
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := p.unit.Info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return "a struct field", true
+		}
+	case *ast.Ident:
+		if obj := p.objOf(e); obj != nil && p.isPackageLevel(obj) {
+			return "a package-level variable", true
+		}
+	}
+	return "", false
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func (p *pass) isPackageLevel(obj types.Object) bool {
+	return obj.Parent() == p.unit.Pkg.Scope()
+}

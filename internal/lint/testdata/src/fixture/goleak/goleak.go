@@ -1,0 +1,62 @@
+// Package goleak is a lint fixture: goroutines that must be joined on
+// every path out of the launching function — one launch with no join
+// at all, one whose join is skipped on an early return, and the legal
+// join shapes (WaitGroup, counted channel drain, range over channel).
+package goleak
+
+import "sync"
+
+// fireAndForget has no join at all.
+func fireAndForget(fn func()) {
+	go fn() // want goleak (no join)
+}
+
+// condSkip joins only when skip is false.
+func condSkip(fn func(), skip bool) {
+	done := make(chan struct{})
+	go func() { // want goleak (early return skips the join)
+		fn()
+		close(done)
+	}()
+	if skip {
+		return
+	}
+	<-done
+}
+
+// waited joins through a WaitGroup on every path.
+func waited(fn func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		fn()
+	}()
+	wg.Wait()
+}
+
+// counted launches n workers and drains n completions; the join lives
+// in a loop body, which the check credits to the loop's exit edge.
+func counted(fn func(), n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// ranged drains a channel the goroutine closes.
+func ranged(fn func(ch chan<- int)) {
+	out := make(chan int)
+	go func() {
+		fn(out)
+		close(out)
+	}()
+	for range out {
+	}
+}

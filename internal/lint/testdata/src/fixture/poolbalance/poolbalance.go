@@ -1,0 +1,65 @@
+// Package poolbalance is a lint fixture: sync.Pool Get/Put pairings
+// the poolbalance dataflow check must classify — two leaks to flag,
+// and the legal patterns (defer, per-branch Put, panic paths,
+// ownership transfer by return, Put after a loop) it must not.
+package poolbalance
+
+import "sync"
+
+var bufs = sync.Pool{New: func() any { return new([]byte) }}
+
+// leakOnEarlyReturn loses the buffer on the early-return path.
+func leakOnEarlyReturn(cond bool) {
+	b := bufs.Get().(*[]byte) // want poolbalance (early return skips Put)
+	if cond {
+		return
+	}
+	bufs.Put(b)
+}
+
+// discarded drops the pooled value on the floor immediately.
+func discarded() {
+	bufs.Get() // want poolbalance (result discarded)
+}
+
+// deferred is the canonical legal pattern: Put on every exit via defer.
+func deferred() []byte {
+	b := bufs.Get().(*[]byte)
+	defer bufs.Put(b)
+	return append([]byte(nil), *b...)
+}
+
+// branches puts on every non-panic path explicitly.
+func branches(cond bool) {
+	b := bufs.Get().(*[]byte)
+	if cond {
+		bufs.Put(b)
+		return
+	}
+	bufs.Put(b)
+}
+
+// panics may lose the buffer on the panic path; only non-panic paths
+// must balance.
+func panics(bad bool) {
+	b := bufs.Get().(*[]byte)
+	if bad {
+		panic("bad input")
+	}
+	bufs.Put(b)
+}
+
+// owner hands the pooled value to its caller, which then owns the Put
+// (the wrapper idiom fft's getScratch uses).
+func owner() *[]byte {
+	return bufs.Get().(*[]byte)
+}
+
+// loops rounds through a loop before the unconditional Put.
+func loops(n int) {
+	b := bufs.Get().(*[]byte)
+	for i := 0; i < n; i++ {
+		*b = append(*b, byte(i))
+	}
+	bufs.Put(b)
+}

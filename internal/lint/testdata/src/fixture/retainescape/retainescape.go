@@ -1,0 +1,58 @@
+// Package retainescape is a lint fixture: caller-owned Into/GenerateAt
+// destination buffers that must not outlive the call, plus the legal
+// write-through patterns and an out-of-contract function the check
+// must leave alone.
+package retainescape
+
+import "sync"
+
+type sink struct {
+	buf  []float64
+	rows [][]float64
+}
+
+var (
+	global []float64
+	sends  = make(chan []float64, 1)
+	arena  = sync.Pool{New: func() any { return new([]float64) }}
+)
+
+// FillInto retains the caller's slice in a struct field.
+func (s *sink) FillInto(dst []float64) {
+	s.buf = dst // want retainescape (field store)
+	for i := range dst {
+		dst[i] = 0 // ok: writing through the buffer is the contract
+	}
+}
+
+// GenerateAtRow retains a reslice in a struct-field table.
+func (s *sink) GenerateAtRow(dst []float64, j int) {
+	s.rows[j] = dst[:j] // want retainescape (reslice into field element)
+}
+
+// PublishInto leaks through a package-level variable via a local alias.
+func PublishInto(dst []float64) {
+	d := dst
+	global = d // want retainescape (alias into package var)
+}
+
+// SendInto leaks the buffer to whoever drains the channel.
+func SendInto(dst []float64) {
+	sends <- dst // want retainescape (channel send)
+}
+
+// PoolInto returns the caller's buffer to a pooled arena.
+func PoolInto(dst *[]float64) {
+	arena.Put(dst) // want retainescape (pooled arena)
+}
+
+// CopyInto writes through the destination without retaining it.
+func CopyInto(dst, src []float64) {
+	copy(dst, src) // ok: pure write access
+}
+
+// publish is outside the Into/GenerateAt naming contract; retaining is
+// its caller's informed choice, not this check's business.
+func publish(dst []float64) {
+	global = dst // ok: not a contract-scoped function name
+}

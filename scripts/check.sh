@@ -3,47 +3,109 @@
 # script; run it locally before pushing. It chains:
 #   build → gofmt → go vet → rrslint → tests → race tests → bench smoke
 #   → fuzz smoke.
+# and prints a per-step timing summary at the end (also on failure,
+# with the failing step named — slow steps are the first suspects).
+#
+# Knobs:
+#   FUZZTIME  (default 10s)  bounds each fuzz target; 0 skips the fuzz
+#                            smoke entirely (e.g. on very slow machines).
+#   RACE_ALL  (default 0)    1 runs `go test -race ./...` instead of the
+#                            concurrency-sensitive shortlist; CI sets it
+#                            on main-branch builds.
+#   LINT_JSON (default rrslint-findings.json)  where the rrslint JSON
+#                            findings land; CI uploads it as an artifact.
+#
 # The bench smoke (-benchtime=1x) only proves every benchmark still
 # compiles and runs; scripts/bench.sh does the real measurement.
-# FUZZTIME (default 10s) bounds each fuzz target; set FUZZTIME=0 to
-# skip the fuzz smoke entirely (e.g. on very slow machines).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
+RACE_ALL="${RACE_ALL:-0}"
+LINT_JSON="${LINT_JSON:-rrslint-findings.json}"
 
-echo "== build"
+step_name=""
+step_start=0
+step_names=()
+step_secs=()
+
+step_begin() {
+    step_name="$1"
+    step_start=$SECONDS
+    echo "== $step_name"
+}
+
+step_end() {
+    step_names+=("$step_name")
+    step_secs+=($((SECONDS - step_start)))
+    step_name=""
+}
+
+timing_summary() {
+    local status=$?
+    echo "== step timings"
+    local i
+    for i in "${!step_names[@]}"; do
+        printf '%6ds  %s\n' "${step_secs[$i]}" "${step_names[$i]}"
+    done
+    if [[ -n "$step_name" ]]; then
+        printf '%6ds  %s (failed)\n' "$((SECONDS - step_start))" "$step_name"
+    fi
+    return "$status"
+}
+trap timing_summary EXIT
+
+step_begin "build"
 go build ./...
+step_end
 
-echo "== gofmt"
+step_begin "gofmt"
 unformatted="$(gofmt -l .)"
 if [[ -n "$unformatted" ]]; then
     echo "gofmt needed on:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
+step_end
 
-echo "== go vet"
+step_begin "go vet"
 go vet ./...
+step_end
 
-echo "== rrslint"
-go run ./cmd/rrslint ./...
+step_begin "rrslint (findings -> $LINT_JSON)"
+if ! go run ./cmd/rrslint -json ./... > "$LINT_JSON"; then
+    echo "rrslint findings:" >&2
+    go run ./cmd/rrslint ./... >&2 || true
+    exit 1
+fi
+step_end
 
-echo "== go test"
+step_begin "go test"
 go test ./...
+step_end
 
-echo "== go test -race (concurrency-sensitive packages)"
-go test -race ./internal/par ./internal/fft ./internal/convgen ./internal/inhomo
+if [[ "$RACE_ALL" == "1" ]]; then
+    step_begin "go test -race (all packages)"
+    go test -race ./...
+else
+    step_begin "go test -race (concurrency-sensitive packages)"
+    go test -race ./internal/par ./internal/fft ./internal/convgen \
+        ./internal/inhomo ./internal/rng ./internal/grid
+fi
+step_end
 
-echo "== bench smoke (compile + one iteration per benchmark)"
+step_begin "bench smoke (compile + one iteration per benchmark)"
 go test -run='^$' -bench=. -benchtime=1x . > /dev/null
+step_end
 
 if [[ "$FUZZTIME" != "0" ]]; then
-    echo "== fuzz smoke ($FUZZTIME each)"
+    step_begin "fuzz smoke ($FUZZTIME each)"
     go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/grid
     go test -run='^$' -fuzz=FuzzParseScene -fuzztime="$FUZZTIME" ./internal/core
     go test -run='^$' -fuzz=FuzzSupportMaskPlate -fuzztime="$FUZZTIME" ./internal/inhomo
     go test -run='^$' -fuzz=FuzzSupportMaskPoint -fuzztime="$FUZZTIME" ./internal/inhomo
+    go test -run='^$' -fuzz=FuzzCFG -fuzztime="$FUZZTIME" ./internal/lint
+    step_end
 fi
 
 echo "== all checks passed"
