@@ -1,0 +1,117 @@
+// Command rrsd is the rough-surface tile daemon: it serves windows of
+// deterministic, seed-addressed surfaces over HTTP (see internal/service
+// and DESIGN.md §11).
+//
+//	rrsd -addr :8270
+//	curl -X POST --data @scene.json localhost:8270/v1/scene
+//	curl "localhost:8270/v1/scene/<id>/tile/0,0,256x256?seed=7&format=png" > tile.png
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
+// in-flight tile requests drain (bounded by -drain), the worker pool
+// joins, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"roughsurface/internal/par"
+	"roughsurface/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rrsd", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", ":8270", "listen address (host:port; port 0 picks a free port)")
+	workers := fs.Int("workers", 0, "tile-rendering workers (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth beyond the workers (0 = 2x workers)")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-tile request deadline (queue wait + render)")
+	cacheMB := fs.Int64("cache-mb", 256, "tile LRU capacity in MiB (0 disables)")
+	maxEdge := fs.Int("max-tile-edge", 4096, "maximum tile edge in samples")
+	genWorkers := fs.Int("gen-workers", 1, "intra-tile render parallelism")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
+	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for scripts)")
+	quiet := fs.Bool("q", false, "disable access logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1
+	}
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheBytes:     cacheBytes,
+		MaxTileEdge:    *maxEdge,
+		GenWorkers:     *genWorkers,
+	}
+	if !*quiet {
+		cfg.AccessLog = log.New(out, "rrsd: ", log.LstdFlags)
+	}
+	s := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		s.Close()
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			s.Close()
+			return err
+		}
+	}
+	fmt.Fprintf(out, "rrsd: listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := par.Background(func() error { return srv.Serve(ln) })
+
+	select {
+	case err := <-serveErr:
+		// The listener failed underneath us; nothing to drain.
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Shutdown ordering (DESIGN.md §11): stop accepting and drain HTTP
+	// handlers first — handlers blocked on the pool keep their workers
+	// busy until their tiles finish — then join the pool, then exit.
+	fmt.Fprintf(out, "rrsd: shutting down (drain %s)\n", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(shCtx)
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		s.Close()
+		return err
+	}
+	s.Close()
+	if shutdownErr != nil {
+		return fmt.Errorf("drain incomplete: %w", shutdownErr)
+	}
+	fmt.Fprintln(out, "rrsd: bye")
+	return nil
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"roughsurface/internal/par"
+)
+
+// TestRunServesAndShutsDown boots the daemon on a free port, exercises
+// the scene + tile endpoints over real TCP, then cancels the context
+// and expects a clean (nil) drain — the same lifecycle scripts/check.sh
+// drives with SIGTERM.
+func TestRunServesAndShutsDown(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer // written only by the run goroutine; read after join
+	errc := par.Background(func() error {
+		return run(ctx, []string{"-addr", "127.0.0.1:0", "-portfile", portFile, "-q"}, &buf)
+	})
+
+	addr := waitForPortFile(t, portFile, errc)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	scene := `{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8}}`
+	resp, err = http.Post(base+"/v1/scene", "application/json", strings.NewReader(scene))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("scene post: %d %s", resp.StatusCode, body)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatalf("scene post body %q: %v", body, err)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/v1/scene/%s/tile/0,0,32x32?seed=1", base, reg.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(tile) != 4*32*32 {
+		t.Fatalf("tile: %d, %d bytes", resp.StatusCode, len(tile))
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel; want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not drain within 10s of cancel")
+	}
+	if out := buf.String(); !strings.Contains(out, "listening on") || !strings.Contains(out, "bye") {
+		t.Errorf("run output missing lifecycle lines:\n%s", out)
+	}
+}
+
+func TestRunBadFlagsAndAddr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}
+
+// waitForPortFile polls for the daemon's -portfile, failing fast if the
+// daemon exits first.
+func waitForPortFile(t *testing.T, path string, errc <-chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited before listening: %v", err)
+		default:
+		}
+		if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+			return string(b)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("portfile never appeared")
+	return ""
+}

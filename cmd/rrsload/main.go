@@ -1,0 +1,256 @@
+// Command rrsload is a closed-loop load generator for rrsd. It
+// registers a scene, then drives tile requests from -c concurrent
+// workers at a target aggregate rate, mixing tile sizes and seeds
+// deterministically (no RNG: run k of worker w always requests the
+// same tile, so two rrsload runs against warm caches are comparable).
+// It reports achieved throughput, latency quantiles, and per-status
+// counts:
+//
+//	rrsload -url http://localhost:8270 -duration 10s -qps 200 -c 8
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"roughsurface/internal/par"
+)
+
+const defaultScene = `{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8}}`
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rrsload:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	code    int // 0 = transport error
+	latency time.Duration
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("rrsload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	baseURL := fs.String("url", "", "rrsd base URL, e.g. http://localhost:8270 (required)")
+	scenePath := fs.String("scene", "", "scene JSON file (default: a built-in 64x64 gaussian scene)")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
+	qps := fs.Float64("qps", 100, "target aggregate request rate (0 = as fast as the closed loop allows)")
+	conc := fs.Int("c", 4, "concurrent workers (closed loop: each has one request in flight)")
+	sizes := fs.String("sizes", "64x64,128x128,256x256", "comma-separated tile-size mix, cycled per request")
+	seeds := fs.Int("seeds", 4, "number of distinct seeds to rotate through")
+	span := fs.Int64("span", 4096, "tile origins are spread over [-span, span) on each axis")
+	format := fs.String("format", "f32", "tile format to request (f32 or png)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseURL == "" {
+		return errors.New("-url is required")
+	}
+	if *conc < 1 {
+		return errors.New("-c must be >= 1")
+	}
+	mix, err := parseSizes(*sizes)
+	if err != nil {
+		return err
+	}
+
+	scene := []byte(defaultScene)
+	if *scenePath != "" {
+		if scene, err = os.ReadFile(*scenePath); err != nil {
+			return err
+		}
+	}
+	id, err := registerScene(ctx, *baseURL, scene)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rrsload: scene %s, %d workers, %s, target %.0f req/s\n", id, *conc, *duration, *qps)
+
+	// Each worker self-paces at qps/c: request k of worker w is due at
+	// start + k*interval. A closed loop never exceeds the target, and
+	// when the server is slower than the target the loop degrades to
+	// back-to-back requests (the classic closed-loop saturation mode).
+	var interval time.Duration
+	if *qps > 0 {
+		interval = time.Duration(float64(*conc) / *qps * float64(time.Second))
+	}
+	deadline := time.Now().Add(*duration)
+	runCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	client := &http.Client{}
+	perWorker := make([][]sample, *conc)
+	start := time.Now()
+	par.ForEach(*conc, *conc, func(w int) {
+		var got []sample
+		for k := 0; ; k++ {
+			if interval > 0 {
+				due := start.Add(time.Duration(k) * interval)
+				if d := time.Until(due); d > 0 {
+					select {
+					case <-time.After(d):
+					case <-runCtx.Done():
+					}
+				}
+			}
+			if runCtx.Err() != nil || !time.Now().Before(deadline) {
+				break
+			}
+			got = append(got, fetchTile(runCtx, client, *baseURL, id, tileFor(w, k, mix, *seeds, *span, *format)))
+		}
+		perWorker[w] = got
+	})
+	elapsed := time.Since(start)
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	report(out, all, elapsed)
+	return nil
+}
+
+// tileSpec is one request in the deterministic schedule.
+type tileSpec struct {
+	x0, y0 int64
+	nx, ny int
+	seed   int
+	format string
+}
+
+// tileFor derives request k of worker w. Offsets use fixed prime
+// strides so the schedule covers many distinct tiles (cache misses)
+// while remaining identical between runs.
+func tileFor(w, k int, mix [][2]int, seeds int, span int64, format string) tileSpec {
+	size := mix[(w+k)%len(mix)]
+	n := int64(w)*104729 + int64(k)*7919
+	m := int64(w)*15485863 + int64(k)*24593
+	mod := 2 * span
+	return tileSpec{
+		x0:     (n%mod+mod)%mod - span,
+		y0:     (m%mod+mod)%mod - span,
+		nx:     size[0],
+		ny:     size[1],
+		seed:   (w+k)%seeds + 1,
+		format: format,
+	}
+}
+
+func fetchTile(ctx context.Context, client *http.Client, base, id string, ts tileSpec) sample {
+	url := fmt.Sprintf("%s/v1/scene/%s/tile/%d,%d,%dx%d?seed=%d&format=%s",
+		base, id, ts.x0, ts.y0, ts.nx, ts.ny, ts.seed, ts.format)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return sample{}
+	}
+	begin := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(begin)}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{code: resp.StatusCode, latency: time.Since(begin)}
+}
+
+func registerScene(ctx context.Context, base string, scene []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/scene", strings.NewReader(string(scene)))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("scene post: %d %s", resp.StatusCode, body)
+	}
+	var reg struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil {
+		return "", fmt.Errorf("scene post body %q: %w", body, err)
+	}
+	return reg.ID, nil
+}
+
+func parseSizes(s string) ([][2]int, error) {
+	var mix [][2]int
+	for _, part := range strings.Split(s, ",") {
+		dims := strings.SplitN(strings.TrimSpace(part), "x", 2)
+		if len(dims) != 2 {
+			return nil, fmt.Errorf("size %q: want NXxNY", part)
+		}
+		nx, err1 := strconv.Atoi(dims[0])
+		ny, err2 := strconv.Atoi(dims[1])
+		if err1 != nil || err2 != nil || nx < 1 || ny < 1 {
+			return nil, fmt.Errorf("size %q: want positive integers", part)
+		}
+		mix = append(mix, [2]int{nx, ny})
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("-sizes is empty")
+	}
+	return mix, nil
+}
+
+// report prints throughput, latency quantiles, and per-status counts.
+func report(out io.Writer, all []sample, elapsed time.Duration) {
+	if len(all) == 0 {
+		fmt.Fprintln(out, "rrsload: no requests completed")
+		return
+	}
+	lat := make([]time.Duration, len(all))
+	codes := map[int]int{}
+	errs := 0
+	for i, s := range all {
+		lat[i] = s.latency
+		codes[s.code]++
+		if s.code != http.StatusOK {
+			errs++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i].Round(10 * time.Microsecond)
+	}
+	fmt.Fprintf(out, "rrsload: %d requests in %s (%.1f req/s), %d non-200 (%.2f%%)\n",
+		len(all), elapsed.Round(time.Millisecond), float64(len(all))/elapsed.Seconds(),
+		errs, 100*float64(errs)/float64(len(all)))
+	fmt.Fprintf(out, "rrsload: latency p50=%s p90=%s p99=%s max=%s\n",
+		q(0.50), q(0.90), q(0.99), lat[len(lat)-1].Round(10*time.Microsecond))
+	keys := make([]int, 0, len(codes))
+	for c := range codes {
+		keys = append(keys, c)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, c := range keys {
+		label := strconv.Itoa(c)
+		if c == 0 {
+			label = "error"
+		}
+		parts = append(parts, fmt.Sprintf("%s=%d", label, codes[c]))
+	}
+	fmt.Fprintf(out, "rrsload: status %s\n", strings.Join(parts, " "))
+}

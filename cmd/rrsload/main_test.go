@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"roughsurface/internal/service"
+)
+
+func TestParseSizes(t *testing.T) {
+	mix, err := parseSizes("64x64, 128x32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0] != [2]int{64, 64} || mix[1] != [2]int{128, 32} {
+		t.Fatalf("parseSizes = %v", mix)
+	}
+	for _, bad := range []string{"", "64", "64x", "0x64", "ax б"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Errorf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTileForDeterministicAndBounded(t *testing.T) {
+	mix := [][2]int{{64, 64}, {128, 128}}
+	seen := map[tileSpec]bool{}
+	for k := 0; k < 200; k++ {
+		ts := tileFor(1, k, mix, 4, 1024, "f32")
+		if ts != tileFor(1, k, mix, 4, 1024, "f32") {
+			t.Fatal("tileFor is not deterministic")
+		}
+		if ts.x0 < -1024 || ts.x0 >= 1024 || ts.y0 < -1024 || ts.y0 >= 1024 {
+			t.Fatalf("origin (%d,%d) outside span", ts.x0, ts.y0)
+		}
+		if ts.seed < 1 || ts.seed > 4 {
+			t.Fatalf("seed %d outside rotation", ts.seed)
+		}
+		seen[ts] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("schedule repeats too much: %d distinct tiles of 200", len(seen))
+	}
+}
+
+// TestRunAgainstService drives a short closed loop against an in-process
+// daemon and checks the report: every request succeeded and the output
+// has the quantile line bench.sh greps for.
+func TestRunAgainstService(t *testing.T) {
+	s := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL, "-duration", "300ms", "-qps", "100", "-c", "2",
+		"-sizes", "16x16,32x32", "-span", "128",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"latency p50=", "p99=", "status 200="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "error=") {
+		t.Errorf("transport errors during load:\n%s", out)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := run(ctx, nil, &buf); err == nil {
+		t.Error("missing -url accepted")
+	}
+	if err := run(ctx, []string{"-url", "http://x", "-c", "0"}, &buf); err == nil {
+		t.Error("-c 0 accepted")
+	}
+	if err := run(ctx, []string{"-url", "http://x", "-sizes", "bad"}, &buf); err == nil {
+		t.Error("bad -sizes accepted")
+	}
+}

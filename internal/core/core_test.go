@@ -233,3 +233,78 @@ func TestGenerateOutsideCircleScene(t *testing.T) {
 		t.Errorf("pond contrast missing: inside %g outside %g", si, so)
 	}
 }
+
+func TestValidateFieldPathErrors(t *testing.T) {
+	gaussOK := gauss(1, 8)
+	cases := []struct {
+		name string
+		sc   Scene
+		want string // substring the error must contain
+	}{
+		{"spectrum.h", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous,
+			Spectrum: &SpectrumSpec{Family: "gaussian", H: -1, CL: 8}}, "spectrum.h:"},
+		{"spectrum.cl", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous,
+			Spectrum: &SpectrumSpec{Family: "gaussian", H: 1}}, "spectrum.cl:"},
+		{"spectrum.clx", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous,
+			Spectrum: &SpectrumSpec{Family: "gaussian", H: 1, CLX: -3, CLY: 8}}, "spectrum.clx:"},
+		{"spectrum.n", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous,
+			Spectrum: &SpectrumSpec{Family: "powerlaw", H: 1, CL: 8, N: 0.5}}, "spectrum.n:"},
+		{"spectrum.u", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous,
+			Spectrum: &SpectrumSpec{Family: "sea"}}, "spectrum.u:"},
+		{"spectrum.family", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous,
+			Spectrum: &SpectrumSpec{Family: "warp", H: 1, CL: 8}}, "spectrum.family:"},
+		{"regions[1].spectrum.clx", Scene{Nx: 64, Ny: 64, Method: MethodPlate,
+			Regions: []RegionSpec{
+				{Shape: "rect", T: 2, Spectrum: gaussOK},
+				{Shape: "circle", R: 10, T: 2, Spectrum: SpectrumSpec{Family: "gaussian", H: 1, CLX: -1, CLY: 4}},
+			}}, "regions[1].spectrum.clx:"},
+		{"regions[0].r", Scene{Nx: 64, Ny: 64, Method: MethodPlate,
+			Regions: []RegionSpec{{Shape: "circle", R: -5, Spectrum: gaussOK}}}, "regions[0].r:"},
+		{"regions[0].shape", Scene{Nx: 64, Ny: 64, Method: MethodPlate,
+			Regions: []RegionSpec{{Shape: "blob", Spectrum: gaussOK}}}, "regions[0].shape:"},
+		{"regions[0].px", Scene{Nx: 64, Ny: 64, Method: MethodPlate,
+			Regions: []RegionSpec{{Shape: "polygon", PX: []float64{0, 1}, PY: []float64{0, 1}, Spectrum: gaussOK}}}, "regions[0].px:"},
+		{"points[1].spectrum.h", Scene{Nx: 64, Ny: 64, Method: MethodPoint, TransitionT: 5,
+			Points: []PointSpec{
+				{X: 0, Y: 0, Spectrum: gaussOK},
+				{X: 1, Y: 1, Spectrum: SpectrumSpec{Family: "gaussian", CL: 8}},
+			}}, "points[1].spectrum.h:"},
+		{"transition_t", Scene{Nx: 64, Ny: 64, Method: MethodPoint,
+			Points: []PointSpec{{Spectrum: gaussOK}}}, "transition_t:"},
+		{"generator", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous, Generator: "warp",
+			Spectrum: &gaussOK}, "generator:"},
+		{"method", Scene{Nx: 64, Ny: 64, Method: "warp"}, "method:"},
+		{"dy", Scene{Nx: 64, Ny: 64, Dx: 1, Dy: -2, Method: MethodHomogeneous, Spectrum: &gaussOK}, "dy:"},
+	}
+	for _, c := range cases {
+		err := c.sc.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid scene accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name field path %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestValidateMatchesGenerate pins the contract Components and the
+// service layer rely on: a scene Validate accepts must also assemble
+// (kernel design succeeds), so registration-time validation is the only
+// gate a tile server needs.
+func TestValidateMatchesGenerate(t *testing.T) {
+	scenes := []Scene{
+		{Nx: 32, Ny: 32, Method: MethodHomogeneous, Spectrum: &SpectrumSpec{Family: "sea", U: 8}},
+		{Nx: 32, Ny: 32, Method: MethodPlate, Regions: []RegionSpec{
+			{Shape: "sector", R0: 2, R: 10, A0: 0, A1: 1, T: 1, Spectrum: gauss(1, 4)}}},
+	}
+	for i, sc := range scenes {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scene %d rejected: %v", i, err)
+			continue
+		}
+		if _, err := Generate(sc); err != nil {
+			t.Errorf("scene %d validated but failed to generate: %v", i, err)
+		}
+	}
+}

@@ -29,6 +29,22 @@ func FuzzParseScene(f *testing.F) {
 		`{"nx":64,"ny":64,"method":"point","transition_t":10,"points":[
 		  {"x":-20,"y":0,"spectrum":{"family":"gaussian","h":1,"cl":10}},
 		  {"x":20,"y":0,"spectrum":{"family":"gaussian","h":3,"cl":10}}]}`,
+		// The rrsd service's request fixtures (internal/service tests and
+		// the scripts/check.sh smoke POST these verbatim), so the fuzzer
+		// starts from the exact scenes the network surface serves.
+		`{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8}}`,
+		`{"nx":64,"ny":64,"method":"plate","regions":[
+		  {"shape":"rect","x1":0,"t":4,"spectrum":{"family":"gaussian","h":1,"cl":8}},
+		  {"shape":"circle","cx":16,"cy":0,"r":20,"t":4,"spectrum":{"family":"exponential","h":2,"cl":5}}]}`,
+		`{"nx":64,"ny":64,"method":"point","transition_t":10,"points":[
+		  {"x":-20,"y":0,"spectrum":{"family":"gaussian","h":1,"cl":8}},
+		  {"x":20,"y":0,"spectrum":{"family":"gaussian","h":2.5,"cl":8}}]}`,
+		`{"nx":64,"ny":64,"method":"homogeneous","generator":"dft",
+		  "spectrum":{"family":"gaussian","h":1,"cl":8}}`,
+		// Near-misses exercising the field-path validation errors.
+		`{"nx":64,"ny":64,"method":"plate","regions":[
+		  {"shape":"circle","r":20,"t":4,"spectrum":{"family":"gaussian","h":1,"clx":-2,"cly":5}}]}`,
+		`{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"powerlaw","h":1,"cl":8,"n":0.5}}`,
 		// Rejected inputs: parse errors and validation failures.
 		`{"nx":64,"ny":64,"method":"homogeneous"}`,
 		`{"nx":1,"ny":1,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":10}}`,

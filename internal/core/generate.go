@@ -51,6 +51,55 @@ func MustGenerate(sc Scene) *Result {
 	return r
 }
 
+// Components is the scene's generation machinery without a materialized
+// surface: the designed convolution kernels plus, for plate/point
+// scenes, the blender that mixes them. It is the window-server entry
+// point — a caller holding Components can pair the kernels with
+// convgen/inhomo generators (any seed) and render arbitrary windows of
+// the same deterministic surface on demand, amortizing kernel design
+// across requests.
+type Components struct {
+	// Kernels holds one designed kernel per component (exactly one for
+	// homogeneous scenes).
+	Kernels []*convgen.Kernel
+	// Blender is non-nil for plate/point scenes.
+	Blender inhomo.Blender
+	// KernelSizes reports the (possibly truncated) kernel extents per
+	// component, for cost reporting.
+	KernelSizes [][2]int
+}
+
+// Components validates the scene and designs its kernels (and blender)
+// without generating samples. Scenes with the dft generator have no
+// windowed form — the direct spectral method synthesizes one periodic
+// grid, not an unbounded surface — so they are rejected here even
+// though Generate accepts them.
+func (sc Scene) Components() (*Components, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	s := sc.normalized()
+	switch s.Method {
+	case MethodHomogeneous:
+		if s.Generator == GeneratorDFT {
+			return nil, fmt.Errorf("core: generator: dft has no windowed components (one periodic grid, not an unbounded surface); use conv")
+		}
+		k, err := s.designKernel(*s.Spectrum)
+		if err != nil {
+			return nil, err
+		}
+		return &Components{
+			Kernels:     []*convgen.Kernel{k},
+			KernelSizes: [][2]int{{k.Nx, k.Ny}},
+		}, nil
+	case MethodPlate:
+		return s.plateComponents()
+	case MethodPoint:
+		return s.pointComponents()
+	}
+	panic("unreachable: Validate accepted unknown method")
+}
+
 func (sc Scene) designKernel(spec SpectrumSpec) (*convgen.Kernel, error) {
 	s, err := spec.Build()
 	if err != nil {
@@ -86,19 +135,19 @@ func generateHomogeneous(sc Scene) (*Result, error) {
 	}, nil
 }
 
-func generatePlate(sc Scene) (*Result, error) {
+func (sc Scene) plateComponents() (*Components, error) {
 	regions := make([]inhomo.Region, len(sc.Regions))
 	kernels := make([]*convgen.Kernel, len(sc.Regions))
 	sizes := make([][2]int, len(sc.Regions))
 	for i, rs := range sc.Regions {
 		r, err := rs.buildRegion()
 		if err != nil {
-			return nil, fmt.Errorf("region %d: %w", i, err)
+			return nil, fmt.Errorf("regions[%d]: %w", i, err)
 		}
 		regions[i] = r
 		k, err := sc.designKernel(rs.Spectrum)
 		if err != nil {
-			return nil, fmt.Errorf("region %d: %w", i, err)
+			return nil, fmt.Errorf("regions[%d]: %w", i, err)
 		}
 		kernels[i] = k
 		sizes[i] = [2]int{k.Nx, k.Ny}
@@ -107,18 +156,10 @@ func generatePlate(sc Scene) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gen, err := inhomo.NewGenerator(kernels, blender, sc.Seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		Surface:     gen.GenerateCentered(sc.Nx, sc.Ny),
-		Inhomo:      gen,
-		KernelSizes: sizes,
-	}, nil
+	return &Components{Kernels: kernels, Blender: blender, KernelSizes: sizes}, nil
 }
 
-func generatePoint(sc Scene) (*Result, error) {
+func (sc Scene) pointComponents() (*Components, error) {
 	// Deduplicate identical spectra into shared components, so the ten
 	// points of Fig. 4 need only four kernels.
 	index := map[string]int{}
@@ -131,7 +172,7 @@ func generatePoint(sc Scene) (*Result, error) {
 		if !ok {
 			k, err := sc.designKernel(ps.Spectrum)
 			if err != nil {
-				return nil, fmt.Errorf("point %d: %w", i, err)
+				return nil, fmt.Errorf("points[%d]: %w", i, err)
 			}
 			comp = len(kernels)
 			index[key] = comp
@@ -144,13 +185,37 @@ func generatePoint(sc Scene) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	gen, err := inhomo.NewGenerator(kernels, blender, sc.Seed)
+	return &Components{Kernels: kernels, Blender: blender, KernelSizes: sizes}, nil
+}
+
+func generatePlate(sc Scene) (*Result, error) {
+	comp, err := sc.plateComponents()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := inhomo.NewGenerator(comp.Kernels, comp.Blender, sc.Seed)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Surface:     gen.GenerateCentered(sc.Nx, sc.Ny),
 		Inhomo:      gen,
-		KernelSizes: sizes,
+		KernelSizes: comp.KernelSizes,
+	}, nil
+}
+
+func generatePoint(sc Scene) (*Result, error) {
+	comp, err := sc.pointComponents()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := inhomo.NewGenerator(comp.Kernels, comp.Blender, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Surface:     gen.GenerateCentered(sc.Nx, sc.Ny),
+		Inhomo:      gen,
+		KernelSizes: comp.KernelSizes,
 	}, nil
 }

@@ -76,6 +76,63 @@ func (s SpectrumSpec) key() string {
 	return fmt.Sprintf("%s|%g|%g|%g|%g|%g|%g", s.Family, s.H, clx, cly, s.N, s.U, s.G)
 }
 
+// validate checks the spec field by field, attributing every failure to
+// the JSON path that caused it (path is the spec's own location, e.g.
+// "regions[2].spectrum"). It accepts exactly the specs Build accepts,
+// with finite-parameter checks layered on top, so Validate-then-Build
+// never surprises.
+func (s SpectrumSpec) validate(path string) error {
+	switch s.Family {
+	case "gaussian", "exponential":
+		return s.validateCommon(path)
+	case "powerlaw":
+		if err := s.validateCommon(path); err != nil {
+			return err
+		}
+		if !(s.N > 1) || math.IsInf(s.N, 0) {
+			return fmt.Errorf("core: %s.n: power-law order must exceed 1 and be finite, got %g", path, s.N)
+		}
+		return nil
+	case "sea":
+		if !(s.U > 0) || math.IsInf(s.U, 0) {
+			return fmt.Errorf("core: %s.u: wind speed must be > 0 and finite, got %g", path, s.U)
+		}
+		if s.G != 0 && (!(s.G > 0) || math.IsInf(s.G, 0)) {
+			return fmt.Errorf("core: %s.g: gravity must be > 0 and finite, got %g", path, s.G)
+		}
+		return nil
+	case "":
+		return fmt.Errorf("core: %s.family: missing (want gaussian, powerlaw, exponential or sea)", path)
+	default:
+		return fmt.Errorf("core: %s.family: unknown family %q (want gaussian, powerlaw, exponential or sea)", path, s.Family)
+	}
+}
+
+func (s SpectrumSpec) validateCommon(path string) error {
+	if !(s.H > 0) || math.IsInf(s.H, 0) {
+		return fmt.Errorf("core: %s.h: height deviation must be > 0 and finite, got %g", path, s.H)
+	}
+	clx, cly := s.lengths()
+	if !(clx > 0) || math.IsInf(clx, 0) {
+		return fmt.Errorf("core: %s.%s: correlation length must be > 0 and finite, got %g",
+			path, clField(s.CLX, "clx"), clx)
+	}
+	if !(cly > 0) || math.IsInf(cly, 0) {
+		return fmt.Errorf("core: %s.%s: correlation length must be > 0 and finite, got %g",
+			path, clField(s.CLY, "cly"), cly)
+	}
+	return nil
+}
+
+// clField names the field the user actually set: the per-axis override
+// when present, the isotropic shorthand "cl" otherwise.
+func clField(axis float64, name string) string {
+	if axis != 0 {
+		return name
+	}
+	return "cl"
+}
+
 // RegionSpec declares one plate-oriented region and the statistics that
 // hold inside it. Shape is "rect", "circle", "outside-circle" (the
 // complement of a circle, as in Fig. 3), "sector" (annular sector:
@@ -139,6 +196,39 @@ func (r RegionSpec) buildRegion() (inhomo.Region, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown region shape %q", r.Shape)
 	}
+}
+
+// validate mirrors buildRegion's checks with field-path attribution, so
+// scene errors read like "regions[2].r: circle region needs a positive
+// radius" instead of pointing at the region as a whole.
+func (r RegionSpec) validate(path string) error {
+	switch r.Shape {
+	case "rect":
+		return nil
+	case "circle", "outside-circle":
+		if !(r.R > 0) {
+			return fmt.Errorf("core: %s.r: %s region needs a positive radius, got %g", path, r.Shape, r.R)
+		}
+	case "sector":
+		if !(r.R > r.R0) || r.R0 < 0 {
+			return fmt.Errorf("core: %s.r0: sector needs 0 <= r0 < r, got r0=%g r=%g", path, r.R0, r.R)
+		}
+		if !(r.A1 > r.A0) || r.A1-r.A0 > 2*math.Pi+1e-9 {
+			return fmt.Errorf("core: %s.a0: sector needs a0 < a1 with span <= 2π, got [%g, %g]", path, r.A0, r.A1)
+		}
+	case "polygon":
+		if len(r.PX) != len(r.PY) {
+			return fmt.Errorf("core: %s.px: polygon coordinate lists differ: %d vs %d", path, len(r.PX), len(r.PY))
+		}
+		if len(r.PX) < 3 {
+			return fmt.Errorf("core: %s.px: polygon needs at least 3 vertices, got %d", path, len(r.PX))
+		}
+	case "":
+		return fmt.Errorf("core: %s.shape: missing (want rect, circle, outside-circle, sector or polygon)", path)
+	default:
+		return fmt.Errorf("core: %s.shape: unknown shape %q (want rect, circle, outside-circle, sector or polygon)", path, r.Shape)
+	}
+	return nil
 }
 
 // PointSpec declares one representative point of the point-oriented
@@ -219,54 +309,70 @@ func (sc Scene) normalized() Scene {
 	return sc
 }
 
+// Normalized returns a copy with all defaults applied — unit spacings,
+// seed 1, the conv generator. It is the canonical form: the service
+// layer hashes the JSON encoding of the normalized scene for content
+// addressing, so formatting differences and spelled-out defaults don't
+// split the cache.
+func (sc Scene) Normalized() Scene {
+	return sc.normalized()
+}
+
 // Validate checks the scene for structural errors without generating.
+// Errors carry the JSON field path of the offending value (e.g.
+// "regions[2].spectrum.clx: must be > 0 ..."), so a rejected request
+// against a large scene file points at the exact line to fix.
 func (sc Scene) Validate() error {
 	s := sc.normalized()
 	if s.Nx < 2 || s.Ny < 2 {
-		return fmt.Errorf("core: scene grid must be at least 2x2, got %dx%d", s.Nx, s.Ny)
+		return fmt.Errorf("core: nx/ny: scene grid must be at least 2x2, got %dx%d", s.Nx, s.Ny)
 	}
-	if !(s.Dx > 0) || !(s.Dy > 0) {
-		return fmt.Errorf("core: scene spacings must be positive, got (%g, %g)", s.Dx, s.Dy)
+	if !(s.Dx > 0) || math.IsInf(s.Dx, 0) {
+		return fmt.Errorf("core: dx: sample spacing must be > 0 and finite, got %g", s.Dx)
+	}
+	if !(s.Dy > 0) || math.IsInf(s.Dy, 0) {
+		return fmt.Errorf("core: dy: sample spacing must be > 0 and finite, got %g", s.Dy)
 	}
 	switch s.Method {
 	case MethodHomogeneous:
 		if s.Spectrum == nil {
-			return fmt.Errorf("core: homogeneous scene needs a spectrum")
+			return fmt.Errorf("core: spectrum: homogeneous scene needs a spectrum")
 		}
-		if _, err := s.Spectrum.Build(); err != nil {
+		if err := s.Spectrum.validate("spectrum"); err != nil {
 			return err
 		}
 		if s.Generator != GeneratorConv && s.Generator != GeneratorDFT {
-			return fmt.Errorf("core: unknown generator %q (want conv or dft)", s.Generator)
+			return fmt.Errorf("core: generator: unknown generator %q (want conv or dft)", s.Generator)
 		}
 	case MethodPlate:
 		if len(s.Regions) == 0 {
-			return fmt.Errorf("core: plate scene needs at least one region")
+			return fmt.Errorf("core: regions: plate scene needs at least one region")
 		}
 		for i, r := range s.Regions {
-			if _, err := r.buildRegion(); err != nil {
-				return fmt.Errorf("region %d: %w", i, err)
+			path := fmt.Sprintf("regions[%d]", i)
+			if err := r.validate(path); err != nil {
+				return err
 			}
-			if _, err := r.Spectrum.Build(); err != nil {
-				return fmt.Errorf("region %d: %w", i, err)
+			if err := r.Spectrum.validate(path + ".spectrum"); err != nil {
+				return err
 			}
 		}
 	case MethodPoint:
 		if len(s.Points) == 0 {
-			return fmt.Errorf("core: point scene needs at least one point")
+			return fmt.Errorf("core: points: point scene needs at least one point")
 		}
-		if !(s.TransitionT > 0) {
-			return fmt.Errorf("core: point scene needs positive transition_t, got %g", s.TransitionT)
+		if !(s.TransitionT > 0) || math.IsInf(s.TransitionT, 0) {
+			return fmt.Errorf("core: transition_t: point scene needs a positive finite transition width, got %g", s.TransitionT)
 		}
 		for i, p := range s.Points {
-			if _, err := p.Spectrum.Build(); err != nil {
-				return fmt.Errorf("point %d: %w", i, err)
+			if err := p.Spectrum.validate(fmt.Sprintf("points[%d].spectrum", i)); err != nil {
+				return err
 			}
 		}
 	case "":
-		return fmt.Errorf("core: scene method missing")
+		return fmt.Errorf("core: method: missing (want homogeneous, plate or point)")
 	default:
-		return fmt.Errorf("core: unknown method %q (want homogeneous, plate or point)", s.Method)
+		return fmt.Errorf("core: method: unknown method %q (want homogeneous, plate or point)", s.Method)
 	}
 	return nil
 }

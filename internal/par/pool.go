@@ -1,0 +1,85 @@
+package par
+
+import "sync"
+
+// Pool is a fixed-size worker pool with a bounded task queue — the
+// admission-control primitive for request-serving callers (cmd/rrsd).
+// Unlike For/ForEach/Dynamic, which fan one call's loop body out and
+// join before returning, a Pool owns long-lived workers: TrySubmit
+// never blocks, the queue bounds backlog memory, and Close joins every
+// worker. Living in internal/par keeps goroutine ownership where the
+// repo's lint policy expects it.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines (<= 0 means DefaultWorkers) behind
+// a queue holding up to queue tasks beyond the ones currently
+// executing. queue may be 0: then TrySubmit succeeds only when a
+// worker is ready to receive immediately.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn for execution by some worker. It never blocks:
+// the return is false when the queue is full or the pool is closed, and
+// the caller decides how to shed the load (rrsd answers 429).
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth reports the tasks accepted but not yet picked up by a
+// worker. It is a point-in-time snapshot intended for metrics.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Close stops admission, lets the workers drain the already-accepted
+// queue, and joins them. Idempotent; blocks until the last task ends.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Background runs fn on a par-owned goroutine and returns a 1-buffered
+// channel that receives fn's result exactly once. It exists so that
+// singleton lifecycle goroutines (an HTTP server's Serve loop) keep a
+// join edge the caller can select on alongside a context.
+func Background(fn func() error) <-chan error {
+	errc := make(chan error, 1)
+	go func() { errc <- fn() }()
+	return errc
+}

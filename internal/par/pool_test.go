@@ -1,0 +1,96 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsSubmittedTasks(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		for !p.TrySubmit(func() { ran.Add(1) }) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Close()
+	if got := ran.Load(); got != 100 {
+		t.Fatalf("ran %d of 100 tasks", got)
+	}
+}
+
+func TestPoolTrySubmitShedsWhenSaturated(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if !p.TrySubmit(func() { close(started); <-block }) {
+		t.Fatal("first submit refused on an idle pool")
+	}
+	<-started // the single worker is now occupied
+
+	// Fill the queue slot, then verify overflow is refused, not queued.
+	if !p.TrySubmit(func() {}) {
+		t.Fatal("queue slot refused while empty")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted beyond workers+queue")
+	}
+	if d := p.QueueDepth(); d != 1 {
+		t.Fatalf("queue depth %d, want 1", d)
+	}
+	close(block)
+}
+
+func TestPoolCloseDrainsQueueAndJoins(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		if !p.TrySubmit(func() { time.Sleep(5 * time.Millisecond); ran.Add(1) }) {
+			i-- // retry until accepted; workers drain continuously
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Close() // must block until every accepted task finished
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("Close returned with %d of 8 tasks done", got)
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("submit accepted after Close")
+	}
+	p.Close() // idempotent
+}
+
+func TestPoolConcurrentSubmitAndClose(t *testing.T) {
+	// Hammer TrySubmit from many goroutines racing one Close: no panic
+	// (send on closed channel) and no lost joins. Run under -race.
+	p := NewPool(2, 4)
+	var wg sync.WaitGroup //lint:ignore parpolicy stress test must race raw goroutines against Close
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() { //lint:ignore parpolicy stress test must race raw goroutines against Close
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.TrySubmit(func() {})
+			}
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	p.Close()
+	wg.Wait()
+}
+
+func TestBackgroundDeliversResult(t *testing.T) {
+	errc := Background(func() error { return nil })
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Background never delivered")
+	}
+}

@@ -1,0 +1,51 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"roughsurface/internal/grid"
+)
+
+func TestPNGRoundTripAndOrientation(t *testing.T) {
+	g := grid.New(8, 4)
+	// One hot sample at grid (1, 0) — bottom row — must land on the
+	// bottom image row (y = Ny-1), matching PPM's +y-up orientation.
+	g.Set(1, 0, 1)
+	var buf bytes.Buffer
+	if err := PNG(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("encoded PNG does not decode: %v", err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 8 || b.Dy() != 4 {
+		t.Fatalf("decoded size %dx%d, want 8x4", b.Dx(), b.Dy())
+	}
+	wantR, wantG, wantB := terrainColor(1)
+	r, gg, bb, _ := img.At(1, 3).RGBA()
+	if uint8(r>>8) != wantR || uint8(gg>>8) != wantG || uint8(bb>>8) != wantB {
+		t.Errorf("peak pixel at (1,3) = (%d,%d,%d), want terrainColor(1) = (%d,%d,%d)",
+			r>>8, gg>>8, bb>>8, wantR, wantG, wantB)
+	}
+}
+
+func TestPNGDeterministic(t *testing.T) {
+	g := grid.New(16, 16)
+	for i := range g.Data {
+		g.Data[i] = float64(i%7) - 3
+	}
+	var a, b bytes.Buffer
+	if err := PNG(&a, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := PNG(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("identical grids encoded to different PNG bytes")
+	}
+}

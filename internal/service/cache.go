@@ -1,0 +1,93 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// tileCache is a byte-capacity-bounded LRU over encoded tile bodies.
+// Keys are the full identity of a response — (sceneID, seed, window,
+// format) — so a hit can be streamed verbatim: tiles are deterministic
+// functions of their key, which is what makes an LRU (rather than a
+// TTL cache) the right shape; entries never go stale, they only get
+// cold.
+//
+// Bodies are immutable after insertion: get returns the stored slice
+// and callers must only read it.
+type tileCache struct {
+	mu       sync.Mutex
+	capBytes int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+// cacheEntry is one encoded tile response.
+type cacheEntry struct {
+	key   string
+	body  []byte
+	ctype string
+}
+
+// newTileCache bounds the cache at capBytes of body data (keys and
+// bookkeeping overhead are not counted). capBytes <= 0 disables
+// caching entirely: every get misses, every add is dropped.
+func newTileCache(capBytes int64) *tileCache {
+	return &tileCache{
+		capBytes: capBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+func (c *tileCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+func (c *tileCache) add(e *cacheEntry) {
+	size := int64(len(e.body))
+	if size > c.capBytes {
+		return // a single over-capacity tile would evict everything for nothing
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[e.key]; ok {
+		// Deterministic tiles: an existing entry is byte-identical, so
+		// just refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[e.key] = c.ll.PushFront(e)
+	c.used += size
+	for c.used > c.capBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		old := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.items, old.key)
+		c.used -= int64(len(old.body))
+	}
+}
+
+// bytes reports the cached body bytes, for the metrics gauge.
+func (c *tileCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// len reports the entry count, for the metrics gauge.
+func (c *tileCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,198 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/core"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/inhomo"
+)
+
+// sceneIDLen is the hex length of a scene ID: the first 128 bits of the
+// SHA-256 of the canonical scene JSON. 128 bits keeps URLs short while
+// making accidental collisions implausible at any registry size.
+const sceneIDLen = 32
+
+// SceneID computes the content address of an already-validated scene:
+// SHA-256 over the JSON encoding of the *normalized* scene (defaults
+// applied, struct-ordered fields), truncated to sceneIDLen hex chars.
+// Two submissions that differ only in formatting, key order, or
+// spelled-out defaults therefore map to the same ID and share every
+// cache behind it.
+func SceneID(sc core.Scene) (id string, canonical []byte, err error) {
+	canonical, err = json.Marshal(sc.Normalized())
+	if err != nil {
+		return "", nil, fmt.Errorf("service: canonicalizing scene: %w", err)
+	}
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])[:sceneIDLen], canonical, nil
+}
+
+// registry maps scene IDs to their parsed scenes and lazily-built
+// generation machinery. It is append-only up to maxScenes; scenes are
+// small (the kernels dominate, and those are built on first tile).
+type registry struct {
+	mu        sync.RWMutex
+	scenes    map[string]*sceneEntry
+	maxScenes int
+}
+
+func newRegistry(maxScenes int) *registry {
+	return &registry{scenes: make(map[string]*sceneEntry), maxScenes: maxScenes}
+}
+
+var errRegistryFull = fmt.Errorf("service: scene registry full")
+
+// register parses, validates, and content-addresses a scene document.
+// The dft generator is rejected here — it synthesizes one periodic
+// grid, so it cannot serve windowed tiles (core.Components enforces
+// the same rule; checking at registration turns it into a 422 instead
+// of a failed first tile).
+func (r *registry) register(body []byte, genWorkers, maxSeedGens int) (*sceneEntry, bool, error) {
+	sc, err := core.ParseScene(body)
+	if err != nil {
+		return nil, false, err
+	}
+	sc = sc.Normalized()
+	if sc.Method == core.MethodHomogeneous && sc.Generator == core.GeneratorDFT {
+		return nil, false, fmt.Errorf("core: generator: dft scenes cannot be served as tiles (one periodic grid, not an unbounded surface); use conv")
+	}
+	id, canonical, err := SceneID(sc)
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.scenes[id]; ok {
+		return e, false, nil
+	}
+	if len(r.scenes) >= r.maxScenes {
+		return nil, false, errRegistryFull
+	}
+	e := &sceneEntry{
+		ID:          id,
+		Scene:       sc,
+		Canonical:   canonical,
+		genWorkers:  genWorkers,
+		maxSeedGens: maxSeedGens,
+		gens:        make(map[uint64]tileGen),
+	}
+	r.scenes[id] = e
+	return e, true, nil
+}
+
+func (r *registry) get(id string) (*sceneEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.scenes[id]
+	return e, ok
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.scenes)
+}
+
+// sceneEntry is one registered scene plus everything derived from it.
+// Kernel design (the expensive, seed-independent step) runs exactly
+// once under buildOnce — sync.Once gives singleflight semantics, so a
+// burst of first requests for a new scene blocks on a single design
+// instead of designing per request. Generators (cheap, seed-dependent)
+// are cached per seed behind a small LRU.
+type sceneEntry struct {
+	ID         string
+	Scene      core.Scene
+	Canonical  []byte
+	genWorkers int
+
+	buildOnce sync.Once
+	buildErr  error
+	comp      *core.Components
+
+	mu          sync.Mutex
+	gens        map[uint64]tileGen
+	order       []uint64 // LRU over seeds, most recent last
+	maxSeedGens int
+}
+
+// tileGen renders one window of the deterministic surface for one
+// (scene, seed). Implementations are safe for concurrent use.
+type tileGen interface {
+	generate(out *grid.Grid, i0, j0 int64)
+}
+
+// generator returns the (scene, seed) tile generator, designing the
+// scene's kernels on first use.
+func (e *sceneEntry) generator(seed uint64) (tileGen, error) {
+	e.buildOnce.Do(func() {
+		e.comp, e.buildErr = e.Scene.Components()
+	})
+	if e.buildErr != nil {
+		return nil, e.buildErr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if g, ok := e.gens[seed]; ok {
+		e.touch(seed)
+		return g, nil
+	}
+	var g tileGen
+	if e.comp.Blender == nil {
+		conv := convgen.NewGenerator(e.comp.Kernels[0], seed)
+		g = &homogGen{conv: conv, workers: e.genWorkers}
+	} else {
+		ig, err := inhomo.NewGenerator(e.comp.Kernels, e.comp.Blender, seed)
+		if err != nil {
+			return nil, err
+		}
+		ig.Workers = e.genWorkers
+		g = &inhomoGen{gen: ig}
+	}
+	e.gens[seed] = g
+	e.order = append(e.order, seed)
+	if len(e.order) > e.maxSeedGens {
+		old := e.order[0]
+		e.order = e.order[1:]
+		delete(e.gens, old)
+	}
+	return g, nil
+}
+
+func (e *sceneEntry) touch(seed uint64) {
+	for i, s := range e.order {
+		if s == seed {
+			copy(e.order[i:], e.order[i+1:])
+			e.order[len(e.order)-1] = seed
+			return
+		}
+	}
+}
+
+// homogGen serves homogeneous conv scenes straight from convgen.
+type homogGen struct {
+	conv    *convgen.Generator
+	workers int
+}
+
+func (h *homogGen) generate(out *grid.Grid, i0, j0 int64) {
+	k := h.conv.Kernel()
+	out.Dx, out.Dy = k.Dx, k.Dy
+	out.X0 = float64(i0) * k.Dx
+	out.Y0 = float64(j0) * k.Dy
+	h.conv.GenerateAtInto(out.Data, out.Nx, i0, j0, out.Nx, out.Ny, h.workers)
+}
+
+// inhomoGen serves plate/point scenes through the tile-sparse engine.
+type inhomoGen struct {
+	gen *inhomo.Generator
+}
+
+func (h *inhomoGen) generate(out *grid.Grid, i0, j0 int64) {
+	h.gen.GenerateAtInto(out, i0, j0)
+}

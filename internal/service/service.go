@@ -1,0 +1,237 @@
+// Package service implements rrsd, the tile-serving surface-generation
+// daemon. The paper's convolution method generates "arbitrarily long or
+// wide" surfaces by successive windowed computations — any rectangular
+// window of the infinite deterministic surface is computable on demand
+// from (scene, seed) alone — which is exactly a map-tile server's
+// contract. The daemon exposes:
+//
+//	POST /v1/scene                      register a scene, get its content-hash ID
+//	GET  /v1/scene/{id}                 canonical scene JSON
+//	GET  /v1/scene/{id}/tile/{win}      a tile; win = "x0,y0,NXxNY",
+//	                                    ?seed=S&format=f32|png
+//	GET  /healthz                       liveness
+//	GET  /metrics                       Prometheus text metrics
+//
+// Layering (DESIGN.md §11): scene registry (kernel design, once per
+// scene) → per-seed generator cache → byte-bounded tile LRU → bounded
+// worker pool with queue-depth admission control.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"roughsurface/internal/par"
+)
+
+// Config tunes the daemon. The zero value is usable: every field has a
+// production-shaped default applied by New.
+type Config struct {
+	// Workers is the tile-rendering pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds tasks queued beyond the executing workers
+	// (default 2×Workers). Overflow is shed with 429.
+	QueueDepth int
+	// RequestTimeout is the per-tile deadline covering queue wait and
+	// render (default 15s — first tiles of a scene pay kernel design).
+	RequestTimeout time.Duration
+	// CacheBytes bounds the tile LRU (default 256 MiB; < 0 disables).
+	CacheBytes int64
+	// MaxTileEdge and MaxTileSamples bound a single tile request
+	// (defaults 4096 and 4M samples = 16 MiB of f32).
+	MaxTileEdge    int
+	MaxTileSamples int
+	// MaxScenes bounds the registry (default 1024).
+	MaxScenes int
+	// GenWorkers is the intra-tile parallelism of one render (default
+	// 1: the pool already parallelizes across requests, and one worker
+	// per render keeps tail latency flat under load).
+	GenWorkers int
+	// MaxSeedGens bounds the per-scene cache of per-seed generators
+	// (default 32).
+	MaxSeedGens int
+	// AccessLog receives one line per request when non-nil.
+	AccessLog *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = par.DefaultWorkers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.MaxTileEdge <= 0 {
+		c.MaxTileEdge = 4096
+	}
+	if c.MaxTileSamples <= 0 {
+		c.MaxTileSamples = 4 << 20
+	}
+	if c.MaxScenes <= 0 {
+		c.MaxScenes = 1024
+	}
+	if c.GenWorkers <= 0 {
+		c.GenWorkers = 1
+	}
+	if c.MaxSeedGens <= 0 {
+		c.MaxSeedGens = 32
+	}
+	return c
+}
+
+// Server is the daemon's state: registry, caches, worker pool, metrics.
+// Create with New, serve Handler() from an http.Server, and Close after
+// http.Server.Shutdown has drained the handlers (shutdown ordering is
+// documented in DESIGN.md §11).
+type Server struct {
+	cfg   Config
+	reg   *registry
+	cache *tileCache
+	pool  *par.Pool
+	met   *metrics
+	mux   *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		reg:   newRegistry(cfg.MaxScenes),
+		cache: newTileCache(cfg.CacheBytes),
+		pool:  par.NewPool(cfg.Workers, cfg.QueueDepth),
+		met:   newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scene", s.instrument("scene_post", s.handleScenePost))
+	mux.HandleFunc("GET /v1/scene/{id}", s.instrument("scene_get", s.handleSceneGet))
+	mux.HandleFunc("GET /v1/scene/{id}/tile/{win}", s.instrument("tile", s.handleTile))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux = mux
+	return s
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close joins the worker pool, draining any queued renders. Call only
+// after the HTTP server has stopped delivering requests — a handler
+// submitting to a closed pool would be shed with 429.
+func (s *Server) Close() { s.pool.Close() }
+
+// instrument wraps a handler with in-flight/latency/request metrics and
+// access logging. The route label is static per pattern so metric
+// cardinality stays bounded no matter what clients request.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.inflight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.met.inflight.Add(-1)
+		dur := time.Since(start)
+		s.met.countRequest(route, rec.code)
+		if route == "tile" {
+			s.met.latency.observe(dur)
+		}
+		if s.cfg.AccessLog != nil {
+			s.cfg.AccessLog.Printf("%s %s %d %dB %s", r.Method, r.URL.RequestURI(), rec.code, rec.bytes, dur)
+		}
+	}
+}
+
+// statusRecorder captures the status code and body size for metrics and
+// access logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += n
+	return n, err
+}
+
+// maxSceneBody bounds a scene document upload.
+const maxSceneBody = 1 << 20
+
+func (s *Server) handleScenePost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSceneBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("scene body: %v", err))
+		return
+	}
+	entry, created, err := s.reg.register(body, s.cfg.GenWorkers, s.cfg.MaxSeedGens)
+	if err != nil {
+		if err == errRegistryFull {
+			writeError(w, http.StatusInsufficientStorage,
+				fmt.Sprintf("scene registry full (%d scenes)", s.reg.len()))
+			return
+		}
+		// Validation errors carry field paths (core: regions[2].spectrum.clx: ...).
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, map[string]any{"id": entry.ID, "created": created})
+}
+
+func (s *Server) handleSceneGet(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scene id")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(entry.Canonical)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.met.writePrometheus(w, []gaugeFn{
+		{"rrsd_queue_depth", "Renders accepted but not yet started.", func() int64 { return int64(s.pool.QueueDepth()) }},
+		{"rrsd_scenes", "Scenes registered.", func() int64 { return int64(s.reg.len()) }},
+		{"rrsd_tile_cache_bytes", "Bytes held by the tile LRU.", s.cache.bytes},
+		{"rrsd_tile_cache_entries", "Entries held by the tile LRU.", func() int64 { return int64(s.cache.len()) }},
+	})
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"roughsurface/internal/approx"
+	"roughsurface/internal/core"
+	"roughsurface/internal/grid"
+)
+
+// The request fixtures. scripts/check.sh and the core fuzz seeds use
+// these same documents, so the whole stack — fuzzer, unit tests,
+// integration tests, CI smoke — exercises one set of scenes.
+const (
+	fixtureHomog = `{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8}}`
+	fixturePlate = `{"nx":64,"ny":64,"method":"plate","regions":[
+	  {"shape":"rect","x1":0,"t":4,"spectrum":{"family":"gaussian","h":1,"cl":8}},
+	  {"shape":"circle","cx":16,"cy":0,"r":20,"t":4,"spectrum":{"family":"exponential","h":2,"cl":5}}]}`
+	fixturePoint = `{"nx":64,"ny":64,"method":"point","transition_t":10,"points":[
+	  {"x":-20,"y":0,"spectrum":{"family":"gaussian","h":1,"cl":8}},
+	  {"x":20,"y":0,"spectrum":{"family":"gaussian","h":2.5,"cl":8}}]}`
+)
+
+func TestSceneIDCanonicalization(t *testing.T) {
+	parse := func(s string) core.Scene {
+		sc, err := core.ParseScene([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	base := parse(fixtureHomog)
+	id1, canonical, err := SceneID(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(id1) != sceneIDLen {
+		t.Fatalf("scene id %q has length %d, want %d", id1, len(id1), sceneIDLen)
+	}
+	// Same scene, different formatting, reordered keys, defaults spelled
+	// out: one ID.
+	same := []string{
+		"{\n  \"ny\": 64,\n  \"nx\": 64,\n  \"method\": \"homogeneous\",\n  \"spectrum\": {\"cl\": 10, \"family\": \"gaussian\", \"h\": 1}\n}",
+		`{"nx":64,"ny":64,"dx":1,"dy":1,"seed":1,"generator":"conv","method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":10}}`,
+	}
+	// Patch cl to match fixture (10 vs 8): use an actually-identical pair.
+	same[0] = strings.ReplaceAll(same[0], "10", "8")
+	same[1] = strings.ReplaceAll(same[1], "10", "8")
+	for i, doc := range same {
+		id2, _, err := SceneID(parse(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id2 != id1 {
+			t.Errorf("variant %d hashed to %s, want %s", i, id2, id1)
+		}
+	}
+	// Different content: different ID.
+	other, _, err := SceneID(parse(fixturePlate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == id1 {
+		t.Error("distinct scenes share an ID")
+	}
+	// Canonical JSON re-parses to the same ID (fixed point).
+	id3, _, err := SceneID(parse(string(canonical)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 != id1 {
+		t.Error("canonical JSON does not re-hash to the same ID")
+	}
+}
+
+func TestRegistryRejectsDFTAndBounds(t *testing.T) {
+	r := newRegistry(1)
+	if _, _, err := r.register([]byte(`{"nx":64,"ny":64,"method":"homogeneous","generator":"dft",
+		"spectrum":{"family":"gaussian","h":1,"cl":8}}`), 1, 4); err == nil {
+		t.Error("dft scene registered; want rejection")
+	}
+	if _, created, err := r.register([]byte(fixtureHomog), 1, 4); err != nil || !created {
+		t.Fatalf("first register: created=%v err=%v", created, err)
+	}
+	// Idempotent re-register of the same content succeeds even at cap.
+	if _, created, err := r.register([]byte(fixtureHomog), 1, 4); err != nil || created {
+		t.Fatalf("re-register: created=%v err=%v; want existing entry", created, err)
+	}
+	if _, _, err := r.register([]byte(fixturePlate), 1, 4); err != errRegistryFull {
+		t.Errorf("register over cap: err=%v, want errRegistryFull", err)
+	}
+}
+
+func TestSeedGeneratorLRUBounded(t *testing.T) {
+	r := newRegistry(4)
+	e, _, err := r.register([]byte(fixtureHomog), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		if _, err := e.generator(seed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.mu.Lock()
+	n := len(e.gens)
+	e.mu.Unlock()
+	if n > 2 {
+		t.Errorf("seed generator cache holds %d entries, cap 2", n)
+	}
+}
+
+func TestParseWindow(t *testing.T) {
+	good := map[string]window{
+		"0,0,64x64":      {0, 0, 64, 64},
+		"-128,32,256x16": {-128, 32, 256, 16},
+	}
+	for in, want := range good {
+		got, err := parseWindow(in)
+		if err != nil || got != want {
+			t.Errorf("parseWindow(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "0,0", "0,0,64", "0,0,64x", "a,0,64x64", "0,b,64x64", "0,0,0x64", "0,0,64x-1", "0,0,4.5x4"} {
+		if _, err := parseWindow(in); err == nil {
+			t.Errorf("parseWindow(%q) accepted", in)
+		}
+	}
+}
+
+func TestTileCacheEvictsByBytes(t *testing.T) {
+	c := newTileCache(100)
+	body := func(n int) []byte { return make([]byte, n) }
+	c.add(&cacheEntry{key: "a", body: body(40)})
+	c.add(&cacheEntry{key: "b", body: body(40)})
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted below capacity")
+	}
+	// "a" is now most-recent; adding 40 more evicts "b".
+	c.add(&cacheEntry{key: "c", body: body(40)})
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived past capacity")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently-used a evicted before b")
+	}
+	if got := c.bytes(); got != 80 {
+		t.Errorf("cache holds %d bytes, want 80", got)
+	}
+	// Oversized bodies are refused rather than flushing the cache.
+	c.add(&cacheEntry{key: "huge", body: body(101)})
+	if _, ok := c.get("huge"); ok {
+		t.Error("over-capacity body cached")
+	}
+	if c.len() != 2 {
+		t.Errorf("cache has %d entries, want 2", c.len())
+	}
+}
+
+func TestTileCacheDisabled(t *testing.T) {
+	c := newTileCache(-1)
+	c.add(&cacheEntry{key: "a", body: []byte{1}})
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestMetricsPrometheusText(t *testing.T) {
+	m := newMetrics()
+	m.countRequest("tile", 200)
+	m.countRequest("tile", 200)
+	m.countRequest("tile", 429)
+	m.countRequest("healthz", 200)
+	m.latency.observe(3 * time.Millisecond)
+	m.latency.observe(40 * time.Millisecond)
+	m.cacheHits.Add(1)
+	var buf bytes.Buffer
+	m.writePrometheus(&buf, []gaugeFn{{"rrsd_queue_depth", "q", func() int64 { return 7 }}})
+	out := buf.String()
+	for _, want := range []string{
+		`rrsd_requests_total{route="healthz",code="200"} 1`,
+		`rrsd_requests_total{route="tile",code="200"} 2`,
+		`rrsd_requests_total{route="tile",code="429"} 1`,
+		`rrsd_request_seconds_bucket{le="+Inf"} 2`,
+		`rrsd_request_seconds_count 2`,
+		`rrsd_tile_cache_hits_total 1`,
+		`rrsd_queue_depth 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+	// Deterministic rendering: a second scrape with no new events is
+	// byte-identical (sorted map iteration).
+	var buf2 bytes.Buffer
+	m.writePrometheus(&buf2, []gaugeFn{{"rrsd_queue_depth", "q", func() int64 { return 7 }}})
+	if buf.String() != buf2.String() {
+		t.Error("consecutive scrapes differ")
+	}
+}
+
+func TestF32CodecRoundTrip(t *testing.T) {
+	g := grid.New(5, 3)
+	for i := range g.Data {
+		g.Data[i] = float64(i) * 0.25
+	}
+	body := encodeF32(g)
+	if len(body) != 4*len(g.Data) {
+		t.Fatalf("encoded %d bytes, want %d", len(body), 4*len(g.Data))
+	}
+	vals := decodeF32(body)
+	for i, v := range vals {
+		if !approx.Exact(float64(v), float64(float32(g.Data[i]))) {
+			t.Fatalf("sample %d decoded to %g, want %g", i, v, float32(g.Data[i]))
+		}
+	}
+}

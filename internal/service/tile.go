@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"roughsurface/internal/grid"
+	"roughsurface/internal/render"
+)
+
+// window is one requested tile: lattice lower corner and sample counts.
+type window struct {
+	x0, y0 int64
+	nx, ny int
+}
+
+// parseWindow decodes the "{x0},{y0},{nx}x{ny}" path segment, e.g.
+// "-128,0,256x64".
+func parseWindow(s string) (window, error) {
+	var w window
+	parts := strings.SplitN(s, ",", 3)
+	if len(parts) != 3 {
+		return w, fmt.Errorf("window %q: want x0,y0,NXxNY", s)
+	}
+	var err error
+	if w.x0, err = strconv.ParseInt(parts[0], 10, 64); err != nil {
+		return w, fmt.Errorf("window x0 %q: not an integer", parts[0])
+	}
+	if w.y0, err = strconv.ParseInt(parts[1], 10, 64); err != nil {
+		return w, fmt.Errorf("window y0 %q: not an integer", parts[1])
+	}
+	dims := strings.SplitN(parts[2], "x", 2)
+	if len(dims) != 2 {
+		return w, fmt.Errorf("window size %q: want NXxNY", parts[2])
+	}
+	if w.nx, err = strconv.Atoi(dims[0]); err != nil || w.nx < 1 {
+		return w, fmt.Errorf("window nx %q: want a positive integer", dims[0])
+	}
+	if w.ny, err = strconv.Atoi(dims[1]); err != nil || w.ny < 1 {
+		return w, fmt.Errorf("window ny %q: want a positive integer", dims[1])
+	}
+	return w, nil
+}
+
+// Tile formats.
+const (
+	formatF32 = "f32" // row-major little-endian float32, row 0 first
+	formatPNG = "png" // terrain-colormapped render.PNG
+)
+
+// cacheKey is the full identity of a tile response.
+func cacheKey(sceneID string, seed uint64, w window, format string) string {
+	return fmt.Sprintf("%s|%d|%d,%d,%dx%d|%s", sceneID, seed, w.x0, w.y0, w.nx, w.ny, format)
+}
+
+// handleTile is GET /v1/scene/{id}/tile/{win}. The fast path is a pure
+// cache read; misses pass admission control (bounded pool + queue,
+// shedding with 429) and render under the per-request deadline.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scene id")
+		return
+	}
+	win, err := parseWindow(r.PathValue("win"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if win.nx > s.cfg.MaxTileEdge || win.ny > s.cfg.MaxTileEdge ||
+		win.nx*win.ny > s.cfg.MaxTileSamples {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("tile %dx%d exceeds limits (max edge %d, max samples %d)",
+				win.nx, win.ny, s.cfg.MaxTileEdge, s.cfg.MaxTileSamples))
+		return
+	}
+	seed := entry.Scene.Seed
+	if q := r.URL.Query().Get("seed"); q != "" {
+		if seed, err = strconv.ParseUint(q, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed %q: want an unsigned integer", q))
+			return
+		}
+	}
+	format := formatF32
+	if q := r.URL.Query().Get("format"); q != "" {
+		if q != formatF32 && q != formatPNG {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("format %q: want f32 or png", q))
+			return
+		}
+		format = q
+	}
+
+	key := cacheKey(entry.ID, seed, win, format)
+	if e, ok := s.cache.get(key); ok {
+		s.met.cacheHits.Add(1)
+		writeTile(w, e, win, "hit")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	done := make(chan tileResult, 1) // buffered: render may finish after we stop waiting
+	accepted := s.pool.TrySubmit(func() {
+		if ctx.Err() != nil {
+			// The client gave up (or the deadline passed) while this job
+			// sat in the queue; skip the render.
+			done <- tileResult{err: ctx.Err()}
+			return
+		}
+		res := s.renderTile(entry, seed, win, format)
+		if res.err == nil {
+			s.cache.add(&cacheEntry{key: key, body: res.body, ctype: res.ctype})
+		}
+		done <- res
+	})
+	if !accepted {
+		s.met.tileShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "tile workers saturated")
+		return
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			if ctx.Err() != nil {
+				s.met.tileExpired.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "tile deadline exceeded")
+				return
+			}
+			writeError(w, http.StatusInternalServerError, res.err.Error())
+			return
+		}
+		s.met.cacheMisses.Add(1)
+		writeTile(w, &cacheEntry{body: res.body, ctype: res.ctype}, win, "miss")
+	case <-ctx.Done():
+		// The render (still running) will deliver into the buffered
+		// channel and populate the cache for the retry this response
+		// invites.
+		s.met.tileExpired.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "tile deadline exceeded")
+	}
+}
+
+type tileResult struct {
+	body  []byte
+	ctype string
+	err   error
+}
+
+// renderTile generates and encodes one tile. Runs on a pool worker.
+func (s *Server) renderTile(entry *sceneEntry, seed uint64, win window, format string) tileResult {
+	gen, err := entry.generator(seed)
+	if err != nil {
+		return tileResult{err: err}
+	}
+	out := grid.New(win.nx, win.ny)
+	gen.generate(out, win.x0, win.y0)
+	switch format {
+	case formatPNG:
+		var buf bytes.Buffer
+		if err := render.PNG(&buf, out); err != nil {
+			return tileResult{err: err}
+		}
+		return tileResult{body: buf.Bytes(), ctype: "image/png"}
+	default:
+		return tileResult{body: encodeF32(out), ctype: "application/octet-stream"}
+	}
+}
+
+// encodeF32 packs the grid row-major (row 0 first) as little-endian
+// float32 — the wire format of the f32 tile. float32 halves bandwidth
+// relative to the internal float64 at far more precision than surface
+// statistics need, and the narrowing is deterministic.
+func encodeF32(g *grid.Grid) []byte {
+	body := make([]byte, 4*len(g.Data))
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(float32(v)))
+	}
+	return body
+}
+
+// decodeF32 is the inverse of encodeF32's framing (float32 precision);
+// exported to tests and rrsload via the package boundary being shared.
+func decodeF32(body []byte) []float32 {
+	out := make([]float32, len(body)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	return out
+}
+
+func writeTile(w http.ResponseWriter, e *cacheEntry, win window, cacheState string) {
+	h := w.Header()
+	h.Set("Content-Type", e.ctype)
+	h.Set("Content-Length", strconv.Itoa(len(e.body)))
+	h.Set("X-RRS-Window", fmt.Sprintf("%d,%d,%dx%d", win.x0, win.y0, win.nx, win.ny))
+	h.Set("X-Cache", cacheState)
+	h.Set("Cache-Control", "public, max-age=31536000, immutable") // tiles are content-addressed
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(e.body)
+}

@@ -31,3 +31,27 @@ if [[ -n "$BASELINE" ]]; then
     echo "bench.sh: comparing against $BASELINE"
     go run ./cmd/rrsbench compare "$BASELINE" "$OUT"
 fi
+
+# Service-level smoke: a short closed-loop rrsload run against a local
+# rrsd proves the daemon sustains load end-to-end and prints latency
+# quantiles alongside the micro-benchmarks above. Tunables:
+#   LOAD_SECS  seconds of load (default 2; 0 skips the smoke)
+#   LOAD_QPS   target aggregate rate (default 100)
+LOAD_SECS="${LOAD_SECS:-2}"
+LOAD_QPS="${LOAD_QPS:-100}"
+if [[ "$LOAD_SECS" != "0" ]]; then
+    echo "bench.sh: rrsload smoke (${LOAD_SECS}s @ ${LOAD_QPS} req/s)"
+    LOAD_DIR="$(mktemp -d)"
+    go build -o "$LOAD_DIR/rrsd" ./cmd/rrsd
+    "$LOAD_DIR/rrsd" -addr 127.0.0.1:0 -portfile "$LOAD_DIR/port" -q &
+    RRSD_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$LOAD_DIR/port" ]] && break
+        sleep 0.1
+    done
+    go run ./cmd/rrsload -url "http://$(cat "$LOAD_DIR/port")" \
+        -duration "${LOAD_SECS}s" -qps "$LOAD_QPS" -c 4 -sizes 64x64,128x128
+    kill -TERM "$RRSD_PID"
+    wait "$RRSD_PID"
+    rm -rf "$LOAD_DIR"
+fi

@@ -90,8 +90,53 @@ if [[ "$RACE_ALL" == "1" ]]; then
 else
     step_begin "go test -race (concurrency-sensitive packages)"
     go test -race ./internal/par ./internal/fft ./internal/convgen \
-        ./internal/inhomo ./internal/rng ./internal/grid
+        ./internal/inhomo ./internal/rng ./internal/grid \
+        ./internal/service ./cmd/rrsd ./cmd/rrsload
 fi
+step_end
+
+# rrsd end-to-end smoke: boot the daemon on a free port, register the
+# canonical fixture scene, and verify one f32 tile byte-for-byte. The
+# SHA-256 is pinned on amd64 (the CI architecture); elsewhere FP/FMA
+# differences may legally change the low bits, so we fall back to a
+# determinism check (two fetches, one cold one cached, must agree).
+# Finally SIGTERM must drain and exit 0 within the deadline.
+step_begin "rrsd smoke (healthz, golden tile, graceful shutdown)"
+GOLDEN_TILE_SHA256="c489266437db4399309159e8e96ed6998423d7d28d5740b2ce569abeb6c36688"
+SMOKE_DIR="$(mktemp -d)"
+go build -o "$SMOKE_DIR/rrsd" ./cmd/rrsd
+"$SMOKE_DIR/rrsd" -addr 127.0.0.1:0 -portfile "$SMOKE_DIR/port" -q &
+RRSD_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s "$SMOKE_DIR/port" ]] && break
+    kill -0 "$RRSD_PID" 2>/dev/null || { echo "rrsd died on startup" >&2; exit 1; }
+    sleep 0.1
+done
+RRSD_ADDR="$(cat "$SMOKE_DIR/port")"
+curl -sf "http://$RRSD_ADDR/healthz" | grep -q ok
+SCENE='{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8}}'
+SCENE_ID="$(curl -sf -X POST --data "$SCENE" "http://$RRSD_ADDR/v1/scene" \
+    | sed -E 's/.*"id":"([0-9a-f]+)".*/\1/')"
+[[ "$SCENE_ID" == "63d26a72bd0db3592b40fdb04c733d4a" ]] \
+    || { echo "scene id drifted: $SCENE_ID" >&2; exit 1; }
+TILE_URL="http://$RRSD_ADDR/v1/scene/$SCENE_ID/tile/0,0,64x64?seed=1&format=f32"
+curl -sf "$TILE_URL" -o "$SMOKE_DIR/tile.f32"
+if [[ "$(uname -m)" == "x86_64" ]]; then
+    echo "$GOLDEN_TILE_SHA256  $SMOKE_DIR/tile.f32" | sha256sum -c - >/dev/null
+else
+    curl -sf "$TILE_URL" -o "$SMOKE_DIR/tile2.f32"
+    cmp "$SMOKE_DIR/tile.f32" "$SMOKE_DIR/tile2.f32"
+fi
+curl -sf "http://$RRSD_ADDR/metrics" | grep -q 'rrsd_requests_total{route="tile",code="200"} 1'
+kill -TERM "$RRSD_PID"
+SHUTDOWN_OK=0
+for _ in $(seq 1 100); do
+    if ! kill -0 "$RRSD_PID" 2>/dev/null; then SHUTDOWN_OK=1; break; fi
+    sleep 0.1
+done
+[[ "$SHUTDOWN_OK" == "1" ]] || { echo "rrsd did not exit within 10s of SIGTERM" >&2; kill -9 "$RRSD_PID"; exit 1; }
+wait "$RRSD_PID" || { echo "rrsd exited non-zero after SIGTERM" >&2; exit 1; }
+rm -rf "$SMOKE_DIR"
 step_end
 
 step_begin "bench smoke (compile + one iteration per benchmark)"
