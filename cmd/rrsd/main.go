@@ -101,7 +101,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// handlers first — handlers blocked on the pool keep their workers
 	// busy until their tiles finish — then join the pool, then exit.
 	fmt.Fprintf(out, "rrsd: shutting down (drain %s)\n", *drain)
-	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	// The drain context must outlive ctx (which is already done by the
+	// time we get here) but should keep its values for any tracing.
+	shCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drain)
 	defer cancel()
 	shutdownErr := srv.Shutdown(shCtx)
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {

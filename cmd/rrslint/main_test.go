@@ -19,6 +19,7 @@ func TestListChecks(t *testing.T) {
 	for _, want := range []string{
 		"floatcmp", "parpolicy", "seedrand", "errdrop", "mapordered",
 		"poolbalance", "retainescape", "goleak",
+		"lockbalance", "ctxflow", "httpwrite",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q:\n%s", want, out.String())
@@ -40,8 +41,36 @@ func TestUnknownCheckExitsError(t *testing.T) {
 	}
 }
 
+// jsonOutput mirrors the -format=json object.
+type jsonOutput struct {
+	Findings []lint.Diagnostic  `json:"findings"`
+	Timing   []lint.CheckTiming `json:"timing"`
+}
+
+// decodeJSON parses CLI JSON output and sanity-checks the timing
+// breakdown every invocation must carry.
+func decodeJSON(t *testing.T, data []byte, wantChecks int) jsonOutput {
+	t.Helper()
+	var out jsonOutput
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("JSON output invalid: %v\n%s", err, data)
+	}
+	if len(out.Timing) != wantChecks {
+		t.Errorf("timing entries: got %d, want %d (%v)", len(out.Timing), wantChecks, out.Timing)
+	}
+	for i, ct := range out.Timing {
+		if ct.Millis < 0 {
+			t.Errorf("check %s: negative timing", ct.Check)
+		}
+		if i > 0 && out.Timing[i-1].Check >= ct.Check {
+			t.Errorf("timing not sorted: %q before %q", out.Timing[i-1].Check, ct.Check)
+		}
+	}
+	return out
+}
+
 // TestRepoIsLintClean is the gate the rest of the PR maintains: the
-// module's own tree must produce zero findings.
+// module's own tree must produce zero findings under all 11 checks.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module")
@@ -59,12 +88,9 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Fatalf("rrslint exit %d on own tree\nstdout: %s\nstderr: %s",
 			code, out.String(), errb.String())
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
-		t.Fatalf("JSON output invalid: %v", err)
-	}
-	if len(diags) != 0 {
-		t.Errorf("own tree has %d findings", len(diags))
+	res := decodeJSON(t, out.Bytes(), 11)
+	if len(res.Findings) != 0 {
+		t.Errorf("own tree has %d findings", len(res.Findings))
 	}
 }
 
@@ -160,17 +186,14 @@ func TestNewPassesExitCode(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
-		t.Fatalf("JSON output invalid: %v", err)
-	}
+	res := decodeJSON(t, out.Bytes(), 3)
 	got := map[string]int{}
-	for _, d := range diags {
+	for _, d := range res.Findings {
 		got[d.Check]++
 	}
 	for _, check := range []string{"poolbalance", "retainescape", "goleak"} {
 		if got[check] == 0 {
-			t.Errorf("check %s: no finding in %v", check, diags)
+			t.Errorf("check %s: no finding in %v", check, res.Findings)
 		}
 	}
 }
@@ -184,12 +207,9 @@ func TestNewPassesHonorIgnore(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
-		t.Fatalf("JSON output invalid: %v", err)
-	}
-	if len(diags) != 0 {
-		t.Errorf("silenced module still has findings: %v", diags)
+	res := decodeJSON(t, out.Bytes(), 3)
+	if len(res.Findings) != 0 {
+		t.Errorf("silenced module still has findings: %v", res.Findings)
 	}
 }
 
@@ -202,12 +222,123 @@ func TestSelfCheckExcludesTestdata(t *testing.T) {
 		t.Fatalf("exit %d on internal/lint\nstdout: %s\nstderr: %s",
 			code, out.String(), errb.String())
 	}
-	var diags []lint.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
-		t.Fatalf("JSON output invalid: %v", err)
+	res := decodeJSON(t, out.Bytes(), 11)
+	if len(res.Findings) != 0 {
+		t.Errorf("internal/lint has %d findings (testdata leaking in?): %v", len(res.Findings), res.Findings)
 	}
-	if len(diags) != 0 {
-		t.Errorf("internal/lint has %d findings (testdata leaking in?): %v", len(diags), diags)
+}
+
+// TestJSONGolden pins the -format=json findings bytes on a fixed
+// module: deterministic content AND deterministic order, so CI diffs
+// of the findings artifact stay reviewable. Timing is asserted
+// structurally (it cannot be byte-stable) and stripped before the
+// golden comparison.
+func TestJSONGolden(t *testing.T) {
+	chdir(t, writeModule(t, map[string]string{"leaky.go": leakySrc}))
+	runOnce := func() []byte {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-checks", "poolbalance,retainescape,goleak", "-format", "json", "./..."}, &out, &errb); code != 1 {
+			t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+		}
+		res := decodeJSON(t, out.Bytes(), 3)
+		findings, err := json.Marshal(res.Findings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return findings
+	}
+	got := runOnce()
+	const golden = `[` +
+		`{"check":"poolbalance","file":"leaky.go","line":9,"col":7,"message":"pool.Get may reach a non-panic exit without a matching Put"},` +
+		`{"check":"goleak","file":"leaky.go","line":17,"col":2,"message":"goroutine may have no join on some path to return; add a WaitGroup.Wait or channel receive on every exit"},` +
+		`{"check":"retainescape","file":"leaky.go","line":21,"col":2,"message":"caller-owned buffer of StashInto stored into a package-level variable; Into/GenerateAt destinations must not outlive the call"}` +
+		`]`
+	if string(got) != golden {
+		t.Errorf("findings drifted from golden:\n got: %s\nwant: %s", got, golden)
+	}
+	if again := runOnce(); !bytes.Equal(got, again) {
+		t.Errorf("findings not deterministic across runs:\n%s\nvs\n%s", got, again)
+	}
+}
+
+// TestSARIFOutput pins the -format=sarif envelope: schema, one rule
+// per registered check, one result per finding with a physical
+// location.
+func TestSARIFOutput(t *testing.T) {
+	chdir(t, writeModule(t, map[string]string{"leaky.go": leakySrc}))
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", "poolbalance,retainescape,goleak", "-format", "sarif", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output invalid: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("envelope: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "rrslint" || len(r.Tool.Driver.Rules) != 11 {
+		t.Errorf("driver: name %q, %d rules (want rrslint, 11)", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+	}
+	if len(r.Results) != 3 {
+		t.Fatalf("results: got %d, want 3", len(r.Results))
+	}
+	for _, res := range r.Results {
+		if res.RuleID == "" || len(res.Locations) != 1 ||
+			res.Locations[0].PhysicalLocation.ArtifactLocation.URI != "leaky.go" ||
+			res.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+			t.Errorf("malformed result: %+v", res)
+		}
+	}
+}
+
+// TestChecksExcludeFlag drives the -checks exclusion syntax end to
+// end: the excluded pass stays quiet, the rest still fire.
+func TestChecksExcludeFlag(t *testing.T) {
+	chdir(t, writeModule(t, map[string]string{"leaky.go": leakySrc}))
+	var out, errb bytes.Buffer
+	code := run([]string{"-checks", "-poolbalance,-floatcmp", "-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
+	}
+	res := decodeJSON(t, out.Bytes(), 9)
+	for _, d := range res.Findings {
+		if d.Check == "poolbalance" || d.Check == "floatcmp" {
+			t.Errorf("excluded check still reported: %v", d)
+		}
+	}
+	got := map[string]bool{}
+	for _, d := range res.Findings {
+		got[d.Check] = true
+	}
+	if !got["goleak"] || !got["retainescape"] {
+		t.Errorf("non-excluded checks missing from %v", res.Findings)
 	}
 }
 

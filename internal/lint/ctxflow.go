@@ -1,0 +1,91 @@
+package lint
+
+// ctxflow: context.Context discipline on the serving stack's request
+// paths. Three rules over the summary table (summary.go):
+//
+//   R1 — a named context parameter that the body never references is a
+//        dropped deadline: the caller believes cancellation propagates
+//        and it does not. (An interface-mandated parameter can be
+//        declared `_ context.Context`, which documents the drop.)
+//   R2 — calling context.Background() or context.TODO() while a
+//        context parameter is in scope detaches the work from the
+//        caller's deadline; derive from the parameter instead
+//        (context.WithoutCancel for intentionally-detached shutdown
+//        work).
+//   R3 — a function reachable from an HTTP handler (over reach edges,
+//        so a closure handed to the render pool still counts) whose
+//        summary says it may block must accept a context.Context.
+//        Handlers themselves are exempt: they carry *http.Request and
+//        get their context from r.Context(). This is the
+//        interprocedural rule — whether a function is on a request
+//        path and whether it transitively blocks are both call-graph
+//        facts.
+
+import "go/ast"
+
+func runCtxflow(p *pass) {
+	s := p.summaries()
+	for _, n := range s.graph.nodes {
+		sum := s.by[n]
+		if sum.ctxName != "" && !sum.ctxUsed {
+			p.reportf(sum.ctxPos, "ctxflow",
+				"context parameter %q is never used; thread it into blocking calls, or declare it _ to document the drop",
+				sum.ctxName)
+		}
+		if sum.hasCtx {
+			ast.Inspect(n.decl.Body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := contextRootCall(p, call); ok {
+					p.reportf(call.Pos(), "ctxflow",
+						"context.%s() while a context parameter is in scope; derive from it (context.WithoutCancel for detached work)",
+						name)
+				}
+				return true
+			})
+		}
+	}
+
+	var roots []*funcNode
+	for _, n := range s.graph.nodes {
+		if s.isHandlerDecl(n) {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	reachable := s.graph.reachableFrom(roots)
+	for _, n := range s.graph.nodes { // declaration order, not map order
+		if !reachable[n] || s.isHandlerDecl(n) {
+			continue
+		}
+		sum := s.by[n]
+		if sum.blocks && !sum.hasCtx {
+			p.reportf(n.decl.Name.Pos(), "ctxflow",
+				"%s is on a request path and may block (%s) but takes no context.Context",
+				n.name(), sum.blockWhy)
+		}
+	}
+}
+
+// contextRootCall matches context.Background() / context.TODO(), via
+// types when available and textually otherwise.
+func contextRootCall(p *pass, call *ast.CallExpr) (string, bool) {
+	if pkg, name, ok := pkgFuncName(p, call); ok {
+		if pkg == "context" && (name == "Background" || name == "TODO") {
+			return name, true
+		}
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" && p.unit.Info == nil {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}

@@ -15,6 +15,19 @@
 //	retainescape — Into/GenerateAt destination buffers never retained
 //	goleak       — goroutines joined on every path out of their launcher
 //
+// Three more are interprocedural: they run over per-function effect
+// summaries (summary.go) propagated bottom-up in SCC order across a
+// package-level call graph (callgraph.go), so a lock acquired, a park
+// reached, or a status written three helpers deep is still visible at
+// the caller:
+//
+//	lockbalance  — locks released on every non-panic path, never
+//	               blocked on while held, never re-acquired
+//	ctxflow      — request-path blocking always has a threaded
+//	               context.Context; no dropped or severed contexts
+//	httpwrite    — every handler path writes exactly one status and
+//	               no body after an error
+//
 // Any single finding can be silenced in source with a justification:
 //
 //	//lint:ignore <check>[,<check>...] <reason>
@@ -31,6 +44,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, addressed by module-relative file path.
@@ -70,6 +84,9 @@ var allChecks = []check{
 	{"poolbalance", "sync.Pool.Get without a matching Put on some non-panic path", runPoolbalance},
 	{"retainescape", "caller-owned Into/GenerateAt buffer retained beyond the call", runRetainescape},
 	{"goleak", "goroutine without a join on every path out of its launcher", runGoleak},
+	{"lockbalance", "mutex left locked on some path, blocked on, or re-acquired through a callee", runLockbalance},
+	{"ctxflow", "request-path blocking without an accepted and threaded context.Context", runCtxflow},
+	{"httpwrite", "handler path with zero, double, or post-error HTTP status/body writes", runHttpwrite},
 }
 
 // CheckNames lists every registered check with its one-line doc.
@@ -81,6 +98,21 @@ func CheckNames() []string {
 	return out
 }
 
+// CheckInfo is one registered check, for tool output (SARIF rules).
+type CheckInfo struct {
+	Name string
+	Doc  string
+}
+
+// Checks returns the registered suite in registration order.
+func Checks() []CheckInfo {
+	out := make([]CheckInfo, len(allChecks))
+	for i, c := range allChecks {
+		out[i] = CheckInfo{Name: c.name, Doc: c.doc}
+	}
+	return out
+}
+
 // pass is the per-unit state handed to each check.
 type pass struct {
 	fset    *token.FileSet
@@ -88,6 +120,7 @@ type pass struct {
 	modPath string
 	unit    *Unit
 	diags   *[]Diagnostic
+	sums    *summaries // lazily built per unit; see summary.go
 }
 
 // reportf records a finding at pos.
@@ -119,33 +152,59 @@ func ModulePath(root string) (string, error) {
 	return string(m[1]), nil
 }
 
+// CheckTiming records the wall-clock cost of one check across all
+// analyzed units, for the findings artifact CI uploads.
+type CheckTiming struct {
+	Check  string  `json:"check"`
+	Millis float64 `json:"ms"`
+}
+
+// Result is what RunTimed returns: the surviving diagnostics plus the
+// per-check timing breakdown (sorted by check name).
+type Result struct {
+	Diagnostics []Diagnostic
+	Timing      []CheckTiming
+}
+
 // Run loads every selected package and applies the selected checks,
 // returning surviving diagnostics sorted by position.
 func Run(cfg Config) ([]Diagnostic, error) {
+	res, err := RunTimed(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Diagnostics, nil
+}
+
+// RunTimed is Run plus the per-check timing breakdown.
+func RunTimed(cfg Config) (Result, error) {
 	modPath := cfg.ModPath
 	if modPath == "" {
 		var err error
 		if modPath, err = ModulePath(cfg.Root); err != nil {
-			return nil, err
+			return Result{}, err
 		}
 	}
 	selected, err := selectChecks(cfg.Checks)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	l, err := newLoader(cfg.Root, modPath)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	units, err := l.units(cfg.Dirs)
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
 	var diags []Diagnostic
+	spent := make([]time.Duration, len(selected))
 	for _, u := range units {
 		p := &pass{fset: l.fset, root: l.root, modPath: modPath, unit: u, diags: &diags}
-		for _, c := range selected {
+		for i, c := range selected {
+			start := time.Now()
 			c.run(p)
+			spent[i] += time.Since(start)
 		}
 	}
 	diags = applyIgnores(l, units, diags)
@@ -162,26 +221,57 @@ func Run(cfg Config) ([]Diagnostic, error) {
 		}
 		return a.Check < b.Check
 	})
-	return diags, nil
+	timing := make([]CheckTiming, len(selected))
+	for i, c := range selected {
+		timing[i] = CheckTiming{Check: c.name, Millis: float64(spent[i].Microseconds()) / 1000}
+	}
+	sort.Slice(timing, func(i, j int) bool { return timing[i].Check < timing[j].Check })
+	return Result{Diagnostics: diags, Timing: timing}, nil
 }
 
+// selectChecks resolves a -checks list. Plain names include; names
+// prefixed with "-" exclude. With only exclusions the baseline is every
+// registered check; any include makes the list explicit first.
 func selectChecks(names []string) ([]check, error) {
 	if len(names) == 0 {
 		return allChecks, nil
 	}
-	var out []check
-	for _, name := range names {
-		found := false
+	byName := func(name string) (check, bool) {
 		for _, c := range allChecks {
 			if c.name == name {
-				out = append(out, c)
-				found = true
-				break
+				return c, true
 			}
 		}
-		if !found {
+		return check{}, false
+	}
+	var includes []check
+	excluded := map[string]bool{}
+	for _, name := range names {
+		if bare, isExcl := strings.CutPrefix(name, "-"); isExcl {
+			if _, ok := byName(bare); !ok {
+				return nil, fmt.Errorf("lint: unknown check %q", bare)
+			}
+			excluded[bare] = true
+			continue
+		}
+		c, ok := byName(name)
+		if !ok {
 			return nil, fmt.Errorf("lint: unknown check %q", name)
 		}
+		includes = append(includes, c)
+	}
+	base := includes
+	if len(base) == 0 {
+		base = allChecks
+	}
+	var out []check
+	for _, c := range base {
+		if !excluded[c.name] {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: -checks selects no checks")
 	}
 	return out, nil
 }

@@ -76,9 +76,36 @@ func TestChecks(t *testing.T) {
 			"goleak/goleak.go:11 goleak",
 			"goleak/goleak.go:17 goleak",
 		}},
+		{"lockbalance", "lockbalance", []string{
+			"lockbalance/lockbalance.go:29 lockbalance", // leaked on early return
+			"lockbalance/lockbalance.go:39 lockbalance", // channel wait while held
+			"lockbalance/lockbalance.go:48 lockbalance", // blocking callee (needs summary)
+			"lockbalance/lockbalance.go:60 lockbalance", // recursive lock via method (needs call graph)
+			"lockbalance/lockbalance.go:73 lockbalance", // direct double lock
+		}},
+		{"ctxflow", "ctxflow", []string{
+			"ctxflow/ctxflow.go:32 ctxflow", // blocks on request path, no ctx (needs call graph)
+			"ctxflow/ctxflow.go:38 ctxflow", // same, reached through a closure (needs reach edges)
+			"ctxflow/ctxflow.go:48 ctxflow", // ctx parameter dropped
+			"ctxflow/ctxflow.go:55 ctxflow", // context.Background under a ctx param
+		}},
+		{"httpwrite", "httpwrite", []string{
+			"httpwrite/httpwrite.go:28 httpwrite", // path with no write
+			"httpwrite/httpwrite.go:38 httpwrite", // double status via two helpers (needs summaries)
+			"httpwrite/httpwrite.go:46 httpwrite", // body after error status
+		}},
 		// parpolicy's fixture joins every goroutine through wg.Wait, so
 		// the CFG pass must stay quiet on it even though parpolicy fires.
 		{"parpolicy", "goleak", nil},
+		// The new fixtures' negatives double as cross-checks: httpwrite's
+		// helpers never block (no ctxflow), ctxflow's handler writes once
+		// (no httpwrite), lockbalance's helpers are handler-free.
+		{"httpwrite", "ctxflow", nil},
+		{"ctxflow", "httpwrite", nil},
+		{"lockbalance", "ctxflow", nil},
+		{"lockbalance", "httpwrite", nil},
+		{"httpwrite", "lockbalance", nil},
+		{"ctxflow", "lockbalance", nil},
 		{"ignore", "floatcmp", []string{
 			"ignore/ignore.go:16 floatcmp",
 			"ignore/ignore.go:20 directive",
@@ -95,6 +122,9 @@ func TestChecks(t *testing.T) {
 		{"clean", "poolbalance", nil},
 		{"clean", "retainescape", nil},
 		{"clean", "goleak", nil},
+		{"clean", "lockbalance", nil},
+		{"clean", "ctxflow", nil},
+		{"clean", "httpwrite", nil},
 	}
 	for _, tc := range tests {
 		t.Run(tc.dir+"/"+tc.check, func(t *testing.T) {
@@ -136,14 +166,17 @@ func TestAllChecksOnFixtureTree(t *testing.T) {
 		"poolbalance":  2,
 		"retainescape": 5,
 		"goleak":       2,
+		"lockbalance":  5,
+		"ctxflow":      4,
+		"httpwrite":    3,
 	}
 	for check, n := range want {
 		if perCheck[check] != n {
 			t.Errorf("check %s: got %d findings, want %d (all: %v)", check, perCheck[check], n, diags)
 		}
 	}
-	if len(diags) != 32 {
-		t.Errorf("total findings: got %d, want 32: %v", len(diags), diags)
+	if len(diags) != 44 {
+		t.Errorf("total findings: got %d, want 44: %v", len(diags), diags)
 	}
 }
 
@@ -175,7 +208,74 @@ func TestDiagnosticJSON(t *testing.T) {
 // TestCheckNames pins the registered suite.
 func TestCheckNames(t *testing.T) {
 	names := lint.CheckNames()
-	if len(names) != 8 {
-		t.Fatalf("got %d checks, want 8: %v", len(names), names)
+	if len(names) != 11 {
+		t.Fatalf("got %d checks, want 11: %v", len(names), names)
+	}
+}
+
+// TestChecksExclusion pins the -checks exclusion syntax: "-name"
+// removes from the full suite, mixing includes and excludes filters
+// the include list, and selecting nothing is an error.
+func TestChecksExclusion(t *testing.T) {
+	run := func(checks []string) ([]lint.Diagnostic, error) {
+		return lint.Run(lint.Config{
+			Root:    "testdata/src/fixture",
+			ModPath: "fixture",
+			Dirs:    []string{"lockbalance/...", "ctxflow/..."},
+			Checks:  checks,
+		})
+	}
+	all, err := run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := run([]string{"-lockbalance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(all) - 5; len(without) != want {
+		t.Errorf("excluding lockbalance: got %d findings, want %d", len(without), want)
+	}
+	for _, d := range without {
+		if d.Check == "lockbalance" {
+			t.Errorf("excluded check still reported: %v", d)
+		}
+	}
+	mixed, err := run([]string{"lockbalance", "ctxflow", "-lockbalance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed) != 4 {
+		t.Errorf("include+exclude: got %d findings, want 4 (ctxflow only): %v", len(mixed), mixed)
+	}
+	if _, err := run([]string{"ctxflow", "-ctxflow"}); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := run([]string{"-nosuchcheck"}); err == nil {
+		t.Error("unknown excluded check accepted")
+	}
+}
+
+// TestRunTimed pins the timing breakdown the CI artifact carries: one
+// entry per selected check, sorted by name, non-negative.
+func TestRunTimed(t *testing.T) {
+	res, err := lint.RunTimed(lint.Config{
+		Root:    "testdata/src/fixture",
+		ModPath: "fixture",
+		Dirs:    []string{"clean/..."},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timing) != 11 {
+		t.Fatalf("got %d timing entries, want 11: %v", len(res.Timing), res.Timing)
+	}
+	for i, ct := range res.Timing {
+		if ct.Millis < 0 {
+			t.Errorf("check %s: negative timing %v", ct.Check, ct.Millis)
+		}
+		if i > 0 && res.Timing[i-1].Check >= ct.Check {
+			t.Errorf("timing not sorted by check: %q before %q", res.Timing[i-1].Check, ct.Check)
+		}
 	}
 }

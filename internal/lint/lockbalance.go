@@ -1,0 +1,206 @@
+package lint
+
+// lockbalance: discipline for sync.Mutex / sync.RWMutex. Three rules,
+// the last two interprocedural through the summary table (summary.go):
+//
+//  1. balance — every Lock/RLock is matched by an Unlock/RUnlock of the
+//     same lock expression on every non-panic path to return. A
+//     deferred release discharges the obligation for all paths below
+//     its registration, exactly like poolbalance's deferred Put.
+//  2. no blocking while held — between an acquisition and its
+//     (non-deferred) release, no atom may block: channel operations
+//     (unless polled in a select with default), waits, sleeps, I/O, or
+//     a call to a same-unit function whose summary says it may block.
+//     A deferred release never ends the held region — the lock is held
+//     to function exit, so everything after `defer mu.Unlock()` is
+//     scanned.
+//  3. no recursive acquisition — while a lock is held, neither this
+//     frame nor (through the call graph) any same-frame callee may
+//     acquire the same lock again; sync mutexes are not reentrant and
+//     recursive RLock deadlocks once a writer queues. The callee check
+//     compares the callee's canonical acquire keys, translated onto
+//     the call site, against the held lock's canonical key — this is
+//     the finding an intra-procedural scan cannot see.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+func runLockbalance(p *pass) {
+	s := p.summaries()
+	for _, n := range s.graph.nodes {
+		p.lockCheckBody(s, s.cfgOf(n), recvName(n.decl))
+	}
+	// Function literals get the same frame rules; there is no receiver
+	// to canonicalize against, so rule 3 only sees package-level locks.
+	for _, f := range p.unit.Files {
+		ast.Inspect(f, func(m ast.Node) bool {
+			if fl, ok := m.(*ast.FuncLit); ok {
+				p.lockCheckBody(s, buildCFG(fl.Body), "")
+			}
+			return true
+		})
+	}
+}
+
+// lockCheckBody applies all three rules to one function body.
+func (p *pass) lockCheckBody(s *summaries, c *cfg, recv string) {
+	for _, blk := range c.blocks {
+		for i, atom := range blk.nodes {
+			if _, ok := atom.(*ast.DeferStmt); ok {
+				continue // a deferred acquisition is not this frame's entry
+			}
+			inspectShallow(atom, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, kind, ok := p.lockMethodKey(call, lockAcquireMethods)
+				if !ok {
+					return true
+				}
+				method := "Lock"
+				if kind == lockShared {
+					method = "RLock"
+				}
+				if c.leaks(blk, i+1, p.releaseSatisfier(key, kind), p.loopReleases(key, kind)) {
+					p.reportf(call.Pos(), "lockbalance",
+						"%s.%s may not be released on some path to return; unlock on every non-panic path (a deferred release counts)",
+						key, method)
+				}
+				p.scanHeld(s, c, blk, i+1, key, kind, recv, call.Pos())
+				return true
+			})
+		}
+	}
+}
+
+// releaseSatisfier builds the leaks() predicate: does this atom release
+// (key, kind) on the current frame? Deferred releases count — they run
+// at every exit below their registration — including releases inside a
+// deferred closure.
+func (p *pass) releaseSatisfier(key string, kind int) func(ast.Node) bool {
+	return func(atom ast.Node) bool {
+		return p.containsRelease(atom, key, kind)
+	}
+}
+
+// loopReleases is the loop policy for leaks(): a loop discharges the
+// obligation when a matching release appears anywhere in it, mirroring
+// poolbalance's loop-join policy (trip counts are opaque statically).
+func (p *pass) loopReleases(key string, kind int) func(ast.Stmt) bool {
+	return func(st ast.Stmt) bool {
+		return p.containsRelease(st, key, kind)
+	}
+}
+
+// containsRelease scans nd for an Unlock/RUnlock of key on this frame:
+// shallow over function literals, except deferred ones, which run on
+// the frame at exit.
+func (p *pass) containsRelease(nd ast.Node, key string, kind int) bool {
+	found := false
+	var walk func(node ast.Node)
+	walk = func(node ast.Node) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				if m != node {
+					return false
+				}
+			case *ast.DeferStmt:
+				walk(m.Call)
+				if fl, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					walk(fl.Body)
+				}
+				return false
+			case *ast.CallExpr:
+				if k, kd, ok := p.lockMethodKey(m, lockReleaseMethods); ok && k == key && kd == kind {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	walk(nd)
+	return found
+}
+
+// scanHeld walks the CFG forward from just after an acquisition until
+// the matching non-deferred release on each path, flagging blocking
+// atoms (rule 2) and re-acquisitions of the same lock, direct or
+// through a same-unit callee's summary (rule 3). Panic successors are
+// excused; reaching exit still holding is rule 1's business.
+func (p *pass) scanHeld(s *summaries, c *cfg, start *block, startIdx int, key string, kind int, recv string, lockPos token.Pos) {
+	heldCanon, haveCanon := canonicalKey(p, key, recv)
+	lockLine := p.fset.Position(lockPos).Line
+	type workItem struct {
+		blk *block
+		idx int
+	}
+	visited := map[*block]bool{start: true}
+	stack := []workItem{{start, startIdx}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		released := false
+		for i := it.idx; i < len(it.blk.nodes); i++ {
+			atom := it.blk.nodes[i]
+			if _, ok := atom.(*ast.DeferStmt); ok {
+				continue // runs at exit; never ends or blocks the held region
+			}
+			inspectShallow(atom, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if k, kd, ok := p.lockMethodKey(call, lockReleaseMethods); ok && k == key && kd == kind {
+					released = true
+					return false
+				}
+				if k, _, ok := p.lockMethodKey(call, lockAcquireMethods); ok && k == key {
+					p.reportf(call.Pos(), "lockbalance",
+						"%s acquired again while already held (locked at line %d); sync mutexes are not reentrant",
+						key, lockLine)
+					return true
+				}
+				if !haveCanon {
+					return true
+				}
+				if callee := s.graph.calleeOf(p.unit, call); callee != nil {
+					if cs := s.by[callee]; cs != nil {
+						for acqKey := range cs.acquires {
+							if tk, ok := translateKey(p, acqKey, call, recv); ok && tk == heldCanon {
+								p.reportf(call.Pos(), "lockbalance",
+									"call to %s re-acquires %s, held since line %d; deadlock",
+									callee.name(), key, lockLine)
+								break
+							}
+						}
+					}
+				}
+				return true
+			})
+			if released {
+				break
+			}
+			if pos, why, ok := s.frameBlocking(atom); ok {
+				p.reportf(pos, "lockbalance",
+					"blocking operation (%s) while %s is held (locked at line %d); release before blocking",
+					why, key, lockLine)
+			}
+		}
+		if released {
+			continue
+		}
+		for _, succ := range it.blk.succs {
+			if succ.kind == blockBody && !visited[succ] {
+				visited[succ] = true
+				stack = append(stack, workItem{succ, 0})
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+// White-box tests for the interprocedural substrate: call-graph SCC
+// ordering, summary propagation, lock-key canonicalization — all in
+// heuristic (untyped) mode, which is the mode with no safety net — and
+// FuzzSummary, which asserts the builder's invariants on arbitrary
+// parseable input and that every interprocedural pass survives it.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parsePass builds an untyped pass (Info == nil: heuristic mode) over
+// one source file.
+func parsePass(tb testing.TB, src string) *pass {
+	tb.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "summary_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	var diags []Diagnostic
+	return &pass{
+		fset:    fset,
+		root:    ".",
+		modPath: "fixture",
+		unit:    &Unit{Dir: ".", Name: "p", Files: []*ast.File{f}},
+		diags:   &diags,
+	}
+}
+
+// declSummary finds a function's summary by name.
+func declSummary(tb testing.TB, s *summaries, name string) *funcSummary {
+	tb.Helper()
+	for _, n := range s.graph.nodes {
+		if n.decl.Name.Name == name {
+			return s.by[n]
+		}
+	}
+	tb.Fatalf("no declaration %q in the unit", name)
+	return nil
+}
+
+func TestCallGraphSCCOrder(t *testing.T) {
+	p := parsePass(t, `package p
+func a() { b() }
+func b() { c(); a() }
+func c() {}
+func lone() {}
+`)
+	s := p.summaries()
+	for _, n := range s.graph.nodes {
+		for _, e := range n.sync {
+			if e.callee.scc > n.scc {
+				t.Errorf("sync edge %s -> %s violates bottom-up SCC order (%d -> %d)",
+					n.name(), e.callee.name(), n.scc, e.callee.scc)
+			}
+		}
+	}
+	var a, b *funcNode
+	for _, n := range s.graph.nodes {
+		switch n.decl.Name.Name {
+		case "a":
+			a = n
+		case "b":
+			b = n
+		}
+	}
+	if a.scc != b.scc {
+		t.Errorf("mutually recursive a and b in different SCCs (%d, %d)", a.scc, b.scc)
+	}
+}
+
+func TestSummaryBlockPropagatesThroughChain(t *testing.T) {
+	p := parsePass(t, `package p
+import "time"
+func outer() { middle() }
+func middle() { inner() }
+func inner() { time.Sleep(1) }
+func pure() { _ = 1 + 2 }
+`)
+	s := p.summaries()
+	if sum := declSummary(t, s, "outer"); !sum.blocks {
+		t.Error("outer: blocking did not propagate through two call levels")
+	}
+	if sum := declSummary(t, s, "pure"); sum.blocks {
+		t.Errorf("pure: spurious blocking (%s)", sum.blockWhy)
+	}
+}
+
+func TestSummaryLockKeyCanonicalization(t *testing.T) {
+	p := parsePass(t, `package p
+import "sync"
+type S struct{ mu sync.Mutex }
+func (s *S) low() { s.mu.Lock(); s.mu.Unlock() }
+func (z *S) outer() { z.low() }
+func local() { var mu sync.Mutex; mu.Lock(); mu.Unlock() }
+`)
+	s := p.summaries()
+	low := declSummary(t, s, "low")
+	if low.acquires["@recv.mu"] != lockExcl {
+		t.Errorf("low acquires = %v, want @recv.mu excl", low.acquires)
+	}
+	// The callee's @recv key must survive translation through z.low()
+	// even though the receiver is named differently in each frame.
+	outer := declSummary(t, s, "outer")
+	if outer.acquires["@recv.mu"] != lockExcl {
+		t.Errorf("outer acquires = %v, want @recv.mu excl via z.low()", outer.acquires)
+	}
+}
+
+func TestSummaryCtxDetection(t *testing.T) {
+	p := parsePass(t, `package p
+import "context"
+func used(ctx context.Context) { _ = ctx.Err() }
+func dropped(ctx context.Context) { _ = 1 }
+func blank(_ context.Context) {}
+func none(n int) { _ = n }
+`)
+	s := p.summaries()
+	if sum := declSummary(t, s, "used"); !sum.hasCtx || !sum.ctxUsed {
+		t.Errorf("used: hasCtx=%v ctxUsed=%v, want true/true", sum.hasCtx, sum.ctxUsed)
+	}
+	if sum := declSummary(t, s, "dropped"); !sum.hasCtx || sum.ctxUsed {
+		t.Errorf("dropped: hasCtx=%v ctxUsed=%v, want true/false", sum.hasCtx, sum.ctxUsed)
+	}
+	if sum := declSummary(t, s, "blank"); !sum.hasCtx || sum.ctxName != "" {
+		t.Errorf("blank: hasCtx=%v ctxName=%q, want true and empty", sum.hasCtx, sum.ctxName)
+	}
+	if sum := declSummary(t, s, "none"); sum.hasCtx {
+		t.Error("none: spurious hasCtx")
+	}
+}
+
+func TestSelectWithDefaultIsAPoll(t *testing.T) {
+	p := parsePass(t, `package p
+var ch = make(chan int)
+func poll() { select { case <-ch: default: } }
+func park() { select { case <-ch: } }
+`)
+	s := p.summaries()
+	if sum := declSummary(t, s, "poll"); sum.blocks {
+		t.Errorf("poll: select with default flagged as blocking (%s)", sum.blockWhy)
+	}
+	if sum := declSummary(t, s, "park"); !sum.blocks {
+		t.Error("park: select without default must block")
+	}
+}
+
+// TestLockbalanceHeuristicBalanced pins the fuzz target's central
+// property deterministically: balanced synthetic bodies produce no
+// findings even without type information.
+func TestLockbalanceHeuristicBalanced(t *testing.T) {
+	p := parsePass(t, `package p
+import "sync"
+var mu sync.Mutex
+func balanced() { mu.Lock(); mu.Unlock() }
+func deferred() { mu.Lock(); defer mu.Unlock(); _ = 1 }
+`)
+	runLockbalance(p)
+	if len(*p.diags) != 0 {
+		t.Errorf("balanced bodies produced findings: %v", *p.diags)
+	}
+}
+
+// checkSummaryInvariants asserts what buildSummaries guarantees for
+// any parseable input.
+func checkSummaryInvariants(tb testing.TB, s *summaries) {
+	tb.Helper()
+	for _, n := range s.graph.nodes {
+		sum := s.by[n]
+		if sum == nil {
+			tb.Fatalf("%s: no summary", n.name())
+		}
+		if sum.blocks && !sum.blockPos.IsValid() {
+			tb.Fatalf("%s: blocks without a witness position", n.name())
+		}
+		for key, kind := range sum.acquires {
+			if key == "" {
+				tb.Fatalf("%s: empty lock key", n.name())
+			}
+			if kind == 0 || kind&^(lockExcl|lockShared) != 0 {
+				tb.Fatalf("%s: lock kind %d outside the lattice", n.name(), kind)
+			}
+		}
+		for _, rw := range sum.rws {
+			if rw.unknown {
+				continue
+			}
+			if rw.min < 0 || rw.max > 2 || rw.min > rw.max {
+				tb.Fatalf("%s: rw range [%d, %d] malformed", n.name(), rw.min, rw.max)
+			}
+		}
+		for _, e := range n.sync {
+			if e.callee.scc > n.scc {
+				tb.Fatalf("sync edge %s -> %s breaks SCC order", n.name(), e.callee.name())
+			}
+		}
+	}
+}
+
+func FuzzSummary(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc f() {}\n",
+		"package p\nimport \"sync\"\nvar mu sync.Mutex\nfunc f() { mu.Lock(); mu.Unlock() }\n",
+		"package p\nimport \"sync\"\nvar mu sync.Mutex\nfunc f(c bool) { mu.Lock(); if c { return }; mu.Unlock() }\n",
+		"package p\nimport \"time\"\nfunc a() { b() }\nfunc b() { a(); time.Sleep(1) }\n",
+		"package p\nimport \"context\"\nfunc f(ctx context.Context) { <-ctx.Done() }\n",
+		"package p\nimport \"net/http\"\nfunc h(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200); w.Write(nil) }\n",
+		"package p\nimport \"net/http\"\nfunc h(w http.ResponseWriter, r *http.Request) { helper(w) }\nfunc helper(w http.ResponseWriter) { w.WriteHeader(500) }\n",
+		"package p\nvar ch = make(chan int)\nfunc f() { select { case <-ch: default: } }\n",
+		"package p\nimport \"sync\"\ntype S struct{ mu sync.RWMutex }\nfunc (s *S) r() { s.mu.RLock(); defer s.mu.RUnlock(); s.r() }\n",
+		"package p\nfunc f() { defer func() { recover() }(); panic(1) }\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		var diags []Diagnostic
+		p := &pass{
+			fset:    fset,
+			root:    ".",
+			modPath: "fixture",
+			unit:    &Unit{Dir: ".", Name: "p", Files: []*ast.File{file}},
+			diags:   &diags,
+		}
+		s := p.summaries()
+		checkSummaryInvariants(t, s)
+		// Rebuilding must be deterministic in the bits passes consume.
+		again := buildSummaries(p)
+		for _, n := range s.graph.nodes {
+			m := again.graph.byDecl[n.decl]
+			if m == nil || again.by[m].blocks != s.by[n].blocks {
+				t.Fatalf("%s: rebuild changed the blocking bit", n.name())
+			}
+		}
+		// Every interprocedural pass must survive arbitrary input.
+		runLockbalance(p)
+		runCtxflow(p)
+		runHttpwrite(p)
+	})
+}

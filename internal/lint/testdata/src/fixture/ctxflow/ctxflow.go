@@ -1,0 +1,72 @@
+// Package ctxflow is a lint fixture: context threading on request
+// paths. Violations: a helper on a handler's call path that blocks
+// without accepting a context (reached directly and through a
+// pool-submitted closure — both invisible without the call graph), a
+// named context parameter that is never used, and a fresh
+// context.Background() while a parameter is in scope. Negatives: a
+// blocking helper that takes and uses its context, the handler itself
+// (it carries *http.Request), and a non-blocking helper with no
+// context.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// handle is the request path root.
+func handle(w http.ResponseWriter, r *http.Request) {
+	render()
+	submit(func() {
+		slowEncode()
+	})
+	shaped(r.Context())
+	quick()
+	_, _ = w.Write([]byte("ok"))
+}
+
+// render blocks on a request path with no context parameter: the
+// finding needs both reachability from handle and render's own
+// summary.
+func render() { // want ctxflow (request path, blocks, no ctx)
+	time.Sleep(time.Millisecond)
+}
+
+// slowEncode is only on the request path through the closure handed to
+// submit — reach edges, not just direct calls.
+func slowEncode() { // want ctxflow (request path via closure, blocks, no ctx)
+	time.Sleep(time.Millisecond)
+}
+
+// submit stands in for a worker-pool enqueue; it never blocks.
+func submit(f func()) {
+	_ = f
+}
+
+// dropped takes a deadline and ignores it.
+func dropped(ctx context.Context) { // want ctxflow (ctx never used)
+	time.Sleep(time.Millisecond)
+}
+
+// fresh detaches from the caller's deadline mid-path.
+func fresh(ctx context.Context) {
+	<-ctx.Done()
+	c := context.Background() // want ctxflow (fresh root under a ctx param)
+	_ = c
+}
+
+// --- negatives ----------------------------------------------------------
+
+// shaped blocks but accepts and uses its context.
+func shaped(ctx context.Context) {
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Millisecond):
+	}
+}
+
+// quick is on the request path but never blocks; no context needed.
+func quick() int {
+	return 3
+}

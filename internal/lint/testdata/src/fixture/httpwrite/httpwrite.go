@@ -1,0 +1,71 @@
+// Package httpwrite is a lint fixture: HTTP handler status-write
+// discipline. Violations: a handler path that writes nothing, a double
+// status write through two helpers (each innocent alone — only their
+// summaries expose the pair), and a body write after an error status
+// with a missing return. Negatives: the branch-per-status pattern
+// through the same helpers, and a handler whose writer escapes into a
+// wrapper (skipped, not guessed at).
+package httpwrite
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// writeErr is the package's error-status helper.
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.WriteHeader(code)
+	fmt.Fprintln(w, msg)
+}
+
+// writeOK is the package's success helper.
+func writeOK(w http.ResponseWriter, body string) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, body)
+}
+
+// zero forgets to answer on the fallthrough path.
+func zero(w http.ResponseWriter, r *http.Request) { // want httpwrite (silent path)
+	if r.URL.Path == "/gone" {
+		writeErr(w, http.StatusNotFound, "gone")
+	}
+}
+
+// double answers twice: writeErr and writeOK each write a status, a
+// fact only their summaries carry to this call site.
+func double(w http.ResponseWriter, r *http.Request) {
+	writeErr(w, http.StatusInternalServerError, "boom")
+	writeOK(w, "ok") // want httpwrite (second status write)
+}
+
+// tail forgets the return after the error, appending a body to a 400.
+func tail(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		http.Error(w, "missing q", http.StatusBadRequest)
+	}
+	fmt.Fprintln(w, "result") // want httpwrite (body after error status)
+}
+
+// --- negatives ----------------------------------------------------------
+
+// good uses the same helpers with exactly one status per path.
+func good(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		writeErr(w, http.StatusBadRequest, "missing q")
+		return
+	}
+	writeOK(w, "ok")
+}
+
+// recorder wraps a writer; handlers that do this escape the analysis.
+type recorder struct {
+	w      http.ResponseWriter
+	status int
+}
+
+// wrapped hands its writer to a wrapper struct: skipped, no finding —
+// even though no write is visible here.
+func wrapped(w http.ResponseWriter, r *http.Request) {
+	rec := &recorder{w: w}
+	_ = rec
+}

@@ -1,0 +1,126 @@
+// Package lockbalance is a lint fixture: mutex discipline the
+// interprocedural lockbalance check must classify. Violations: a Lock
+// leaked on an early return, a channel wait while holding, a blocking
+// helper called under a deferred unlock (visible only through the
+// callee's summary), a recursive acquisition through a method call
+// (ditto), and a direct double Lock. Negatives: the defer idiom,
+// per-branch unlocks, a select-with-default poll under the lock, and
+// re-locking a mutex only after it was released.
+package lockbalance
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+var (
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch = make(chan int)
+)
+
+// leakOnEarlyReturn leaves mu locked on the early-return path.
+func leakOnEarlyReturn(cond bool) {
+	mu.Lock() // want lockbalance (early return skips Unlock)
+	if cond {
+		return
+	}
+	mu.Unlock()
+}
+
+// blockWhileHeld parks on a channel with the lock held.
+func blockWhileHeld() {
+	mu.Lock()
+	<-ch // want lockbalance (channel receive while holding mu)
+	mu.Unlock()
+}
+
+// blockViaHelper blocks under the lock through a callee: only the
+// helper's summary makes sleepALittle's wait visible here.
+func blockViaHelper() {
+	mu.Lock()
+	defer mu.Unlock()
+	sleepALittle() // want lockbalance (callee may block, lock held to exit)
+}
+
+func sleepALittle() {
+	time.Sleep(time.Millisecond)
+}
+
+// total re-acquires the receiver's mutex through bump: the deadlock is
+// invisible without translating bump's summary onto the call site.
+func (c *counter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bump() // want lockbalance (bump re-locks c.mu; deadlock)
+	return c.n
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// doubleLock locks the same mutex twice on one path.
+func doubleLock() {
+	mu.Lock()
+	mu.Lock() // want lockbalance (mu already held)
+	mu.Unlock()
+	mu.Unlock()
+}
+
+// --- negatives ----------------------------------------------------------
+
+// deferred is the canonical pattern: no blocking, unlock at every exit.
+func deferred() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}
+
+// branches unlocks explicitly on every non-panic path.
+func branches(cond bool) {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+}
+
+// polls uses a select with default under the lock: a poll, not a park.
+func polls() {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// sequential releases before calling a helper that takes the same
+// lock: sequential acquisition is fine; only nesting deadlocks.
+func sequential() {
+	mu.Lock()
+	mu.Unlock()
+	relock()
+}
+
+func relock() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// readers takes and releases the read side; RLock pairs with RUnlock.
+func readers() int {
+	rw.RLock()
+	defer rw.RUnlock()
+	return 2
+}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -128,13 +129,19 @@ type tileGen interface {
 }
 
 // generator returns the (scene, seed) tile generator, designing the
-// scene's kernels on first use.
-func (e *sceneEntry) generator(seed uint64) (tileGen, error) {
+// scene's kernels on first use. ctx bounds the wait: Once.Do can park
+// a burst of first requests behind one kernel design, and a caller
+// whose deadline lapsed while parked should not then start building a
+// per-seed generator it will never use.
+func (e *sceneEntry) generator(ctx context.Context, seed uint64) (tileGen, error) {
 	e.buildOnce.Do(func() {
 		e.comp, e.buildErr = e.Scene.Components()
 	})
 	if e.buildErr != nil {
 		return nil, e.buildErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -101,7 +102,7 @@ func TestSeedGeneratorLRUBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seed := uint64(1); seed <= 5; seed++ {
-		if _, err := e.generator(seed); err != nil {
+		if _, err := e.generator(context.Background(), seed); err != nil {
 			t.Fatal(err)
 		}
 	}

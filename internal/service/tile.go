@@ -113,7 +113,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 			done <- tileResult{err: ctx.Err()}
 			return
 		}
-		res := s.renderTile(entry, seed, win, format)
+		res := s.renderTile(ctx, entry, seed, win, format)
 		if res.err == nil {
 			s.cache.add(&cacheEntry{key: key, body: res.body, ctype: res.ctype})
 		}
@@ -155,9 +155,10 @@ type tileResult struct {
 	err   error
 }
 
-// renderTile generates and encodes one tile. Runs on a pool worker.
-func (s *Server) renderTile(entry *sceneEntry, seed uint64, win window, format string) tileResult {
-	gen, err := entry.generator(seed)
+// renderTile generates and encodes one tile. Runs on a pool worker;
+// ctx carries the request deadline across the submit boundary.
+func (s *Server) renderTile(ctx context.Context, entry *sceneEntry, seed uint64, win window, format string) tileResult {
+	gen, err := entry.generator(ctx, seed)
 	if err != nil {
 		return tileResult{err: err}
 	}

@@ -14,6 +14,8 @@
 #                            on main-branch builds.
 #   LINT_JSON (default rrslint-findings.json)  where the rrslint JSON
 #                            findings land; CI uploads it as an artifact.
+#   LINT_SARIF (default rrslint.sarif)  where the SARIF copy of the same
+#                            findings lands; CI uploads it to code scanning.
 #
 # The bench smoke (-benchtime=1x) only proves every benchmark still
 # compiles and runs; scripts/bench.sh does the real measurement.
@@ -23,6 +25,7 @@ cd "$(dirname "$0")/.."
 FUZZTIME="${FUZZTIME:-10s}"
 RACE_ALL="${RACE_ALL:-0}"
 LINT_JSON="${LINT_JSON:-rrslint-findings.json}"
+LINT_SARIF="${LINT_SARIF:-rrslint.sarif}"
 
 step_name=""
 step_start=0
@@ -72,12 +75,15 @@ step_begin "go vet"
 go vet ./...
 step_end
 
-step_begin "rrslint (findings -> $LINT_JSON)"
+step_begin "rrslint (findings -> $LINT_JSON, SARIF -> $LINT_SARIF)"
 if ! go run ./cmd/rrslint -json ./... > "$LINT_JSON"; then
     echo "rrslint findings:" >&2
     go run ./cmd/rrslint ./... >&2 || true
+    # Still produce the SARIF report so code scanning sees the findings.
+    go run ./cmd/rrslint -format=sarif ./... > "$LINT_SARIF" || true
     exit 1
 fi
+go run ./cmd/rrslint -format=sarif ./... > "$LINT_SARIF"
 step_end
 
 step_begin "go test"
@@ -150,6 +156,7 @@ if [[ "$FUZZTIME" != "0" ]]; then
     go test -run='^$' -fuzz=FuzzSupportMaskPlate -fuzztime="$FUZZTIME" ./internal/inhomo
     go test -run='^$' -fuzz=FuzzSupportMaskPoint -fuzztime="$FUZZTIME" ./internal/inhomo
     go test -run='^$' -fuzz=FuzzCFG -fuzztime="$FUZZTIME" ./internal/lint
+    go test -run='^$' -fuzz=FuzzSummary -fuzztime="$FUZZTIME" ./internal/lint
     step_end
 fi
 
