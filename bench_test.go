@@ -158,6 +158,18 @@ func BenchmarkKernelTruncation(b *testing.B) {
 				_ = gen.GenerateCentered(128, 128)
 			}
 		})
+		// The same window through the f32 render pipeline (SIMD MAC
+		// kernels, half the memory traffic). Diff against the f64 case
+		// with `rrsbench compare -map old=new -tolerance`.
+		b.Run(fmt.Sprintf("%s/taps=%dx%d/f32", c.name, c.k.Nx, c.k.Ny), func(b *testing.B) {
+			gen := convgen.NewGenerator(c.k, 1)
+			gen.Engine = convgen.EngineDirect
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = gen.GenerateAt32(-64, -64, 128, 128)
+			}
+		})
 	}
 }
 
@@ -239,6 +251,18 @@ func BenchmarkInhomoFastVsReference(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				gen.GenerateAtInto(dst, -n/2, -n/2)
+			}
+		})
+		b.Run(name+"/f32", func(b *testing.B) {
+			gen := inhomo.MustGenerator(plateKernels, plates, 1)
+			gen.Engine = engine
+			gen.TileSize = 32
+			const n = 576
+			dst := grid.New32(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen.GenerateAtInto32(dst, -n/2, -n/2)
 			}
 		})
 	}

@@ -8,11 +8,14 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem -count=3 . | rrsbench -o BENCH_2026-08-05.json
-//	rrsbench compare [-threshold 0.15] BENCH_old.json BENCH_new.json
+//	rrsbench compare [-threshold 0.15] [-tolerance f] [-map old=new] BENCH_old.json BENCH_new.json
 //
 // The compare subcommand diffs two records and exits nonzero when any
 // benchmark present in both regressed its mean ns/op by more than the
-// threshold fraction.
+// threshold fraction. -map diffs a renamed benchmark against its old
+// name (the f64↔f32 engine variants being the motivating case), gated
+// by -tolerance instead of -threshold — pass a negative tolerance to
+// require a speedup across the rename.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
@@ -174,33 +178,99 @@ type Delta struct {
 	Regressed bool
 }
 
+// CompareOpts configures Compare.
+type CompareOpts struct {
+	// Threshold is the mean ns/op regression fraction that fails a
+	// same-name benchmark.
+	Threshold float64
+	// Tolerance is the regression fraction applied to renamed pairs
+	// (see Rename). Cross-engine diffs are not apples-to-apples, so
+	// they get their own budget — including negative values, which
+	// *require* a speedup (e.g. -0.5 demands the f32 successor run at
+	// least 2× faster than the f64 baseline it replaced).
+	Tolerance float64
+	// Rename maps old-report benchmark names to their new-report
+	// names, so the gate can keep tracking a benchmark across an
+	// engine rename (the f64↔f32 variants being the motivating case).
+	Rename map[string]string
+}
+
 // Compare diffs mean ns/op over benchmarks present in both reports,
-// flagging those slower by more than the threshold fraction. Order
-// follows new.Benchmarks, which Parse keeps sorted by name.
-func Compare(old, new *Report, threshold float64) []Delta {
+// flagging those slower by more than the applicable fraction. A new
+// benchmark named as a Rename target is diffed against the mapped old
+// name under Tolerance; everything else matches by identical name
+// under Threshold. Order follows new.Benchmarks, which Parse keeps
+// sorted by name.
+func Compare(old, new *Report, opts CompareOpts) []Delta {
 	prev := make(map[string]*Stat, len(old.Benchmarks))
 	for _, e := range old.Benchmarks {
 		if e.NsPerOp != nil {
 			prev[e.Name] = e.NsPerOp
 		}
 	}
+	target := make(map[string]string, len(opts.Rename)) // new name -> old name
+	for o, n := range opts.Rename {
+		target[n] = o
+	}
 	var deltas []Delta
 	for _, e := range new.Benchmarks {
+		if e.NsPerOp == nil {
+			continue
+		}
+		name, gate := e.Name, opts.Threshold
+		if o, ok := target[e.Name]; ok {
+			name, gate = o+" => "+e.Name, opts.Tolerance
+			e.Name = o
+		}
 		p, ok := prev[e.Name]
-		if !ok || e.NsPerOp == nil || !(p.Mean > 0) {
+		if !ok || !(p.Mean > 0) {
 			continue
 		}
 		r := e.NsPerOp.Mean/p.Mean - 1
 		deltas = append(deltas, Delta{
-			Name:      e.Name,
+			Name:      name,
 			OldNs:     p.Mean,
 			NewNs:     e.NsPerOp.Mean,
 			Ratio:     r,
-			Regressed: r > threshold,
+			Regressed: r > gate,
 		})
 	}
 	return deltas
 }
+
+// parseRenames decodes the repeated -map values: each is a
+// comma-separated list of old=new benchmark name pairs. Benchmark
+// names may themselves contain "=" (sub-benchmarks like taps=64x64),
+// so the unambiguous "old=>new" form is preferred and tried first;
+// plain "=" splits at the first occurrence.
+func parseRenames(specs []string) (map[string]string, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	m := map[string]string{}
+	for _, spec := range specs {
+		for _, pair := range strings.Split(spec, ",") {
+			o, n, ok := strings.Cut(pair, "=>")
+			if !ok {
+				o, n, ok = strings.Cut(pair, "=")
+			}
+			if !ok || o == "" || n == "" {
+				return nil, fmt.Errorf("rrsbench: -map %q: want old=new (or old=>new)", pair)
+			}
+			if existing, dup := m[o]; dup && existing != n {
+				return nil, fmt.Errorf("rrsbench: -map: %q mapped to both %q and %q", o, existing, n)
+			}
+			m[o] = n
+		}
+	}
+	return m, nil
+}
+
+// stringList collects repeated flag occurrences.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func readReport(path string) (*Report, error) {
 	buf, err := os.ReadFile(path)
@@ -217,10 +287,22 @@ func readReport(path string) (*Report, error) {
 func compareMain(args []string) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.15, "mean ns/op regression fraction that fails the comparison")
+	tolerance := fs.Float64("tolerance", math.NaN(),
+		"regression fraction applied to -map'd pairs (default: the -threshold value); negative values require a speedup")
+	var maps stringList
+	fs.Var(&maps, "map", "old=new benchmark rename pair[s], comma-separated; repeatable")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: rrsbench compare [-threshold 0.15] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: rrsbench compare [-threshold 0.15] [-tolerance f] [-map old=new] old.json new.json")
 		os.Exit(2)
+	}
+	rename, err := parseRenames(maps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if math.IsNaN(*tolerance) {
+		*tolerance = *threshold
 	}
 	oldRep, err := readReport(fs.Arg(0))
 	if err != nil {
@@ -232,7 +314,7 @@ func compareMain(args []string) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	deltas := Compare(oldRep, newRep, *threshold)
+	deltas := Compare(oldRep, newRep, CompareOpts{Threshold: *threshold, Tolerance: *tolerance, Rename: rename})
 	if len(deltas) == 0 {
 		fmt.Fprintln(os.Stderr, "rrsbench compare: no common benchmarks with ns/op")
 		os.Exit(1)
@@ -248,7 +330,8 @@ func compareMain(args []string) {
 			d.Name, d.OldNs, d.NewNs, 100*d.Ratio, status)
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "rrsbench compare: mean ns/op regression above %.0f%%\n", 100**threshold)
+		fmt.Fprintf(os.Stderr, "rrsbench compare: mean ns/op regression above the gate (threshold %.0f%%, tolerance %.0f%%)\n",
+			100**threshold, 100**tolerance)
 		os.Exit(1)
 	}
 }

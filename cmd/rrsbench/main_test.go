@@ -100,7 +100,7 @@ func TestCompare(t *testing.T) {
 		"A": 50,
 		"E": 7, // new benchmark, no baseline
 	})
-	deltas := Compare(old, new, 0.15)
+	deltas := Compare(old, new, CompareOpts{Threshold: 0.15, Tolerance: 0.15})
 	if len(deltas) != 3 {
 		t.Fatalf("got %d deltas, want 3 (common benchmarks only): %+v", len(deltas), deltas)
 	}
@@ -123,7 +123,68 @@ func TestCompare(t *testing.T) {
 func TestCompareSkipsZeroBaseline(t *testing.T) {
 	old := mkReport(map[string]float64{"Z": 0})
 	new := mkReport(map[string]float64{"Z": 50})
-	if deltas := Compare(old, new, 0.15); len(deltas) != 0 {
+	if deltas := Compare(old, new, CompareOpts{Threshold: 0.15, Tolerance: 0.15}); len(deltas) != 0 {
 		t.Errorf("zero baseline should be skipped, got %+v", deltas)
+	}
+}
+
+// TestCompareRenameTolerance: a -map'd pair diffs old name against new
+// name under the tolerance gate, including negative tolerances that
+// demand a speedup; unmapped benchmarks keep the threshold gate.
+func TestCompareRenameTolerance(t *testing.T) {
+	old := mkReport(map[string]float64{
+		"KernelTruncation/full": 1000,
+		"Other":                 100,
+	})
+	new := mkReport(map[string]float64{
+		"KernelTruncation32/full": 600, // 1.67x faster than the f64 baseline
+		"Other":                   105,
+	})
+	rename := map[string]string{"KernelTruncation/full": "KernelTruncation32/full"}
+
+	// Tolerance -0.5 requires >=2x: 600/1000-1 = -0.4 > -0.5 fails.
+	deltas := Compare(old, new, CompareOpts{Threshold: 0.15, Tolerance: -0.5, Rename: rename})
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	mapped := deltas[0]
+	if mapped.Name != "KernelTruncation/full => KernelTruncation32/full" {
+		t.Fatalf("mapped delta name %q", mapped.Name)
+	}
+	if !approx.Equal(mapped.Ratio, -0.40, 1e-12) || !mapped.Regressed {
+		t.Errorf("mapped: ratio %g regressed %v; want -0.40, true under tolerance -0.5", mapped.Ratio, mapped.Regressed)
+	}
+	if deltas[1].Name != "Other" || deltas[1].Regressed {
+		t.Errorf("unmapped benchmark mis-gated: %+v", deltas[1])
+	}
+
+	// A looser tolerance passes the same pair.
+	deltas = Compare(old, new, CompareOpts{Threshold: 0.15, Tolerance: -0.25, Rename: rename})
+	if deltas[0].Regressed {
+		t.Errorf("tolerance -0.25 should accept ratio -0.40: %+v", deltas[0])
+	}
+}
+
+func TestParseRenames(t *testing.T) {
+	m, err := parseRenames([]string{"A=B,C=D", "E=F", "K/taps=64x64=>K/taps=64x64/f32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"A": "B", "C": "D", "E": "F", "K/taps=64x64": "K/taps=64x64/f32"}
+	if len(m) != len(want) {
+		t.Fatalf("got %v", m)
+	}
+	for o, n := range want {
+		if m[o] != n {
+			t.Errorf("m[%q] = %q, want %q", o, m[o], n)
+		}
+	}
+	for _, bad := range []string{"A", "=B", "A=", "A=B,A=C"} {
+		if _, err := parseRenames([]string{bad}); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if m, err := parseRenames(nil); err != nil || m != nil {
+		t.Errorf("nil specs: %v, %v", m, err)
 	}
 }

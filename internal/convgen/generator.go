@@ -8,6 +8,7 @@ import (
 	"roughsurface/internal/grid"
 	"roughsurface/internal/par"
 	"roughsurface/internal/rng"
+	"roughsurface/internal/simd"
 )
 
 // Engine selects the convolution implementation.
@@ -60,14 +61,22 @@ type Generator struct {
 	// buffer keeps concurrent GenerateAt calls on a shared Generator
 	// correct while still reaching zero steady-state allocations.
 	arenas sync.Pool
+
+	// taps32 is the kernel narrowed to float32, built once on first use
+	// of the f32 render path. It lives on the Generator, not the Kernel:
+	// Kernel is a mutable exported value type, while a Generator's
+	// kernel is fixed at construction, which makes the cache safe.
+	taps32     []float32
+	taps32Once sync.Once
 }
 
 // genArena is one call's worth of scratch. Buffers grow to the largest
 // geometry seen and are reused across calls.
 type genArena struct {
-	noise []float64    // direct engine: wx×wy noise window
-	pad   []float64    // fft engine: px×py padded real workspace
-	spec  []complex128 // fft engine: (px/2+1)×py half-spectrum
+	noise   []float64    // direct engine: wx×wy noise window
+	noise32 []float32    // f32 direct engine: wx×wy noise window
+	pad     []float64    // fft engine: px×py padded real workspace
+	spec    []complex128 // fft engine: (px/2+1)×py half-spectrum
 }
 
 // growF returns buf resliced to n, reallocating only when capacity is
@@ -84,6 +93,13 @@ func growC(buf []complex128, n int) []complex128 {
 		return buf[:n]
 	}
 	return make([]complex128, n)
+}
+
+func grow32(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
 }
 
 // NewGenerator wraps a kernel and a noise field seed.
@@ -146,11 +162,67 @@ func (g *Generator) GenerateAtInto(dst []float64, stride int, i0, j0 int64, nx, 
 	g.arenas.Put(ar)
 }
 
+// GenerateAtInto32 is GenerateAtInto rendering in float32 — the serving
+// hot path. Taps and noise are narrowed once and the multiply-
+// accumulate runs entirely in single precision through the simd MAC
+// kernels, which roughly halves memory traffic and doubles SIMD lane
+// count over the float64 reference engine. Agreement with the float64
+// path is statistical, not bit-exact: each sample differs by rounding
+// noise bounded well below the surface's own sampling variability (the
+// agreement tests gate at 1e-4·σh per sample). Under the FFT engine
+// the float64 transforms run unchanged and only the extracted rows are
+// narrowed. All other semantics (row placement, caller ownership,
+// worker bounding, pooled scratch) match GenerateAtInto.
+func (g *Generator) GenerateAtInto32(dst []float32, stride int, i0, j0 int64, nx, ny, workers int) {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("convgen: invalid window %dx%d", nx, ny))
+	}
+	if stride < nx {
+		panic(fmt.Sprintf("convgen: stride %d below window width %d", stride, nx))
+	}
+	if need := stride*(ny-1) + nx; len(dst) < need {
+		panic(fmt.Sprintf("convgen: destination holds %d samples, window needs %d", len(dst), need))
+	}
+	if workers == 0 {
+		workers = g.Workers
+	}
+	ar := g.arenas.Get().(*genArena)
+	switch g.engineFor(nx, ny) {
+	case EngineDirect:
+		g.convolveDirect32(dst, stride, nx, ny, ar, i0, j0, workers)
+	case EngineFFT:
+		g.convolveFFT32(dst, stride, nx, ny, ar, i0, j0, workers)
+	}
+	g.arenas.Put(ar)
+}
+
+// GenerateAt32 is GenerateAt at float32 render precision, returning a
+// caller-owned Grid32.
+func (g *Generator) GenerateAt32(i0, j0 int64, nx, ny int) *grid.Grid32 {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("convgen: invalid window %dx%d", nx, ny))
+	}
+	k := g.kernel
+	out := grid.New32(nx, ny)
+	out.Dx, out.Dy = k.Dx, k.Dy
+	out.X0 = float64(i0) * k.Dx
+	out.Y0 = float64(j0) * k.Dy
+	g.GenerateAtInto32(out.Data, nx, i0, j0, nx, ny, g.Workers)
+	return out
+}
+
 // GenerateCentered materializes an nx×ny window centered on the lattice
 // origin, matching the paper's figure axes.
 func (g *Generator) GenerateCentered(nx, ny int) *grid.Grid {
 	return g.GenerateAt(-int64(nx/2), -int64(ny/2), nx, ny)
 }
+
+// EngineFor reports the engine GenerateAt* would select for an nx×ny
+// window — EngineDirect or EngineFFT, resolving EngineAuto's cost
+// heuristic. Callers batching windows against a shared noise plane
+// (ConvolveNoiseInto*, which is direct-only) use it to fall back to the
+// self-contained API where the FFT engine would win.
+func (g *Generator) EngineFor(nx, ny int) Engine { return g.engineFor(nx, ny) }
 
 func (g *Generator) engineFor(nx, ny int) Engine {
 	switch g.Engine {
@@ -176,7 +248,8 @@ func (g *Generator) fillNoise(dst []float64, i0, j0 int64, wx, wy, stride, worke
 
 // convolveDirect evaluates f(i,j) = Σ_{a,b} taps[b][a]·X(i+a−cx, j+b−cy);
 // the noise window is offset by (−cx, −cy), so the inner expression
-// indexes noise at (i+a, j+b).
+// indexes noise at (i+a, j+b). The tap sum runs through the generic
+// axpy core, which is bit-identical to the literal per-sample sum.
 func (g *Generator) convolveDirect(dst []float64, stride, nx, ny int, ar *genArena, i0, j0 int64, workers int) {
 	k := g.kernel
 	wx := nx + k.Nx - 1
@@ -184,24 +257,34 @@ func (g *Generator) convolveDirect(dst []float64, stride, nx, ny int, ar *genAre
 	ar.noise = growF(ar.noise, wx*wy)
 	noise := ar.noise
 	g.fillNoise(noise, i0-int64(k.CX), j0-int64(k.CY), wx, wy, wx, workers)
-	par.For(ny, workers, func(lo, hi int) {
+	convDirect(dst, stride, nx, ny, k.Taps, k.Nx, k.Ny, noise, wx, simd.MacRow64, workers)
+}
+
+// convolveDirect32 is the float32 serving path: float32 taps, a noise
+// window narrowed at fill time, and the float32 MAC kernel.
+func (g *Generator) convolveDirect32(dst []float32, stride, nx, ny int, ar *genArena, i0, j0 int64, workers int) {
+	k := g.kernel
+	wx := nx + k.Nx - 1
+	wy := ny + k.Ny - 1
+	ar.noise32 = grow32(ar.noise32, wx*wy)
+	noise := ar.noise32
+	ni0, nj0 := i0-int64(k.CX), j0-int64(k.CY)
+	par.For(wy, workers, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			dstRow := dst[j*stride : j*stride+nx]
-			for i := range dstRow {
-				var acc float64
-				for b := 0; b < k.Ny; b++ {
-					tapRow := k.Taps[b*k.Nx : (b+1)*k.Nx]
-					// Equal-length slices let the compiler drop the
-					// bounds check on the hot multiply-accumulate.
-					noiseRow := noise[(j+b)*wx+i : (j+b)*wx+i+k.Nx]
-					for a, tap := range tapRow {
-						acc += tap * noiseRow[a]
-					}
-				}
-				dstRow[i] = acc
-			}
+			g.field.FillRow32(noise[j*wx:j*wx+wx], ni0, nj0+int64(j))
 		}
 	})
+	convDirect(dst, stride, nx, ny, g.kernelTaps32(), k.Nx, k.Ny, noise, wx, simd.MacRow32, workers)
+}
+
+// kernelTaps32 returns the kernel narrowed to float32, built on first
+// use and cached for the generator's lifetime.
+func (g *Generator) kernelTaps32() []float32 {
+	g.taps32Once.Do(func() {
+		g.taps32 = make([]float32, len(g.kernel.Taps))
+		simd.Narrow(g.taps32, g.kernel.Taps)
+	})
+	return g.taps32
 }
 
 // convolveFFT computes the same linear correlation with padded
@@ -215,6 +298,27 @@ func (g *Generator) convolveDirect(dst []float64, stride, nx, ny int, ar *genAre
 // size; plans come from the worker-keyed process cache, so steady state
 // builds no tables and allocates nothing beyond the output grid.
 func (g *Generator) convolveFFT(dst []float64, stride, nx, ny int, ar *genArena, i0, j0 int64, workers int) {
+	pad, px := g.convolveFFTPad(nx, ny, ar, i0, j0, workers)
+	for j := 0; j < ny; j++ {
+		copy(dst[j*stride:j*stride+nx], pad[j*px:j*px+nx])
+	}
+}
+
+// convolveFFT32 runs the float64 FFT engine and narrows the extracted
+// rows. The FFT path is already O(N log N) with most of its time in
+// the transforms, so a float32 transform stack would buy little; the
+// f32 speedup lives in the direct path (DESIGN.md §13).
+func (g *Generator) convolveFFT32(dst []float32, stride, nx, ny int, ar *genArena, i0, j0 int64, workers int) {
+	pad, px := g.convolveFFTPad(nx, ny, ar, i0, j0, workers)
+	for j := 0; j < ny; j++ {
+		simd.Narrow(dst[j*stride:j*stride+nx], pad[j*px:j*px+nx])
+	}
+}
+
+// convolveFFTPad computes the correlation on the padded workspace and
+// returns the arena's pad plus its row stride; rows [0, ny) of the
+// valid region start at pad[j*px].
+func (g *Generator) convolveFFTPad(nx, ny int, ar *genArena, i0, j0 int64, workers int) ([]float64, int) {
 	k := g.kernel
 	wx := nx + k.Nx - 1
 	wy := ny + k.Ny - 1
@@ -227,7 +331,8 @@ func (g *Generator) convolveFFT(dst []float64, stride, nx, ny int, ar *genArena,
 	hx := plan.HalfNx()
 	ar.pad = growF(ar.pad, px*py)
 	ar.spec = growC(ar.spec, hx*py)
-	pad, spec := ar.pad, ar.spec
+	spec := ar.spec
+	pad := ar.pad
 
 	// Noise rows go straight into the padded workspace; the padding is
 	// re-zeroed because the arena still holds the previous call's
@@ -253,9 +358,7 @@ func (g *Generator) convolveFFT(dst []float64, stride, nx, ny int, ar *genArena,
 		}
 	})
 	plan.InverseRealTo(pad, spec)
-	for j := 0; j < ny; j++ {
-		copy(dst[j*stride:j*stride+nx], pad[j*px:j*px+nx])
-	}
+	return pad, px
 }
 
 // cachedTapsHat returns the half-spectrum of the kernel zero-padded to

@@ -91,6 +91,29 @@ func TestSceneValidate(t *testing.T) {
 
 func ptr[T any](v T) *T { return &v }
 
+// TestPrecisionNormalization: both precision spellings validate, and
+// "f64" (the default) collapses to empty under normalization so the
+// field never moves a pre-existing scene's content address.
+func TestPrecisionNormalization(t *testing.T) {
+	base := Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous, Spectrum: ptr(gauss(1, 8))}
+	for _, p := range []string{"", PrecisionF32, PrecisionF64} {
+		sc := base
+		sc.Precision = p
+		if err := sc.Validate(); err != nil {
+			t.Errorf("precision %q rejected: %v", p, err)
+		}
+	}
+	sc := base
+	sc.Precision = PrecisionF64
+	if got := sc.Normalized().Precision; got != "" {
+		t.Errorf(`normalized "f64" precision = %q, want ""`, got)
+	}
+	sc.Precision = PrecisionF32
+	if got := sc.Normalized().Precision; got != PrecisionF32 {
+		t.Errorf(`normalized "f32" precision = %q, want "f32"`, got)
+	}
+}
+
 func TestParseSceneRejectsUnknownFields(t *testing.T) {
 	_, err := ParseScene([]byte(`{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8},"typo_field":1}`))
 	if err == nil || !strings.Contains(err.Error(), "unknown field") {
@@ -273,6 +296,8 @@ func TestValidateFieldPathErrors(t *testing.T) {
 			Points: []PointSpec{{Spectrum: gaussOK}}}, "transition_t:"},
 		{"generator", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous, Generator: "warp",
 			Spectrum: &gaussOK}, "generator:"},
+		{"precision", Scene{Nx: 64, Ny: 64, Method: MethodHomogeneous, Precision: "f16",
+			Spectrum: &gaussOK}, "precision:"},
 		{"method", Scene{Nx: 64, Ny: 64, Method: "warp"}, "method:"},
 		{"dy", Scene{Nx: 64, Ny: 64, Dx: 1, Dy: -2, Method: MethodHomogeneous, Spectrum: &gaussOK}, "dy:"},
 	}

@@ -252,6 +252,12 @@ const (
 	GeneratorDFT  = "dft"
 )
 
+// Render precisions for Scene.Precision.
+const (
+	PrecisionF32 = "f32"
+	PrecisionF64 = "f64"
+)
+
 // Scene is a complete declarative surface description.
 type Scene struct {
 	// Grid geometry. The window is centered on the origin; Dx/Dy default
@@ -270,6 +276,15 @@ type Scene struct {
 	// Homogeneous fields.
 	Spectrum  *SpectrumSpec `json:"spectrum,omitempty"`
 	Generator string        `json:"generator,omitempty"` // conv (default) or dft
+
+	// Precision selects the default render precision for this scene's
+	// tiles: "f64" (the reference engine, default) or "f32" (the SIMD
+	// serving pipeline; DESIGN.md §13). It does not change the surface
+	// being described — f32 renders agree with f64 within the
+	// documented tolerance — so "f64" is collapsed to empty during
+	// normalization and the choice never splits the scene's content
+	// address. Per-request ?precision= overrides it.
+	Precision string `json:"precision,omitempty"`
 
 	// Plate-oriented fields.
 	Regions []RegionSpec `json:"regions,omitempty"`
@@ -306,6 +321,12 @@ func (sc Scene) normalized() Scene {
 	if sc.Generator == "" {
 		sc.Generator = GeneratorConv
 	}
+	if sc.Precision == PrecisionF64 {
+		// Collapse rather than spell out: precision is a render knob,
+		// not part of the surface's identity, and scenes hashed before
+		// the field existed must keep their content address.
+		sc.Precision = ""
+	}
 	return sc
 }
 
@@ -332,6 +353,9 @@ func (sc Scene) Validate() error {
 	}
 	if !(s.Dy > 0) || math.IsInf(s.Dy, 0) {
 		return fmt.Errorf("core: dy: sample spacing must be > 0 and finite, got %g", s.Dy)
+	}
+	if s.Precision != "" && s.Precision != PrecisionF32 {
+		return fmt.Errorf("core: precision: unknown precision %q (want f32 or f64)", sc.Precision)
 	}
 	switch s.Method {
 	case MethodHomogeneous:

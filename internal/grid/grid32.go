@@ -1,0 +1,45 @@
+package grid
+
+import "fmt"
+
+// Grid32 is the float32 sibling of Grid, carried by the serving hot
+// path: tiles leave the daemon as f32 or 8-bit PNG, so rendering in
+// single precision halves the working set without changing what a
+// client can observe beyond documented rounding tolerance. Spacing and
+// origin metadata stay float64 — coordinates are exact lattice
+// multiples and never accumulate rounding.
+type Grid32 struct {
+	Nx, Ny int
+	Dx, Dy float64
+	X0, Y0 float64
+	Data   []float32
+}
+
+// New32 allocates a zeroed nx×ny float32 grid with unit spacing and
+// origin (0, 0).
+func New32(nx, ny int) *Grid32 {
+	if nx < 1 || ny < 1 {
+		panic(fmt.Sprintf("grid: invalid size %dx%d", nx, ny))
+	}
+	return &Grid32{Nx: nx, Ny: ny, Dx: 1, Dy: 1, Data: make([]float32, nx*ny)}
+}
+
+// Index returns the flat index of sample (ix, iy).
+func (g *Grid32) Index(ix, iy int) int { return iy*g.Nx + ix }
+
+// At returns the sample at (ix, iy).
+func (g *Grid32) At(ix, iy int) float32 { return g.Data[iy*g.Nx+ix] }
+
+// Len reports the number of samples.
+func (g *Grid32) Len() int { return g.Nx * g.Ny }
+
+// Widen returns a float64 Grid copy, for handing f32-rendered tiles to
+// the float64 render and statistics layers (PNG colormapping, probes).
+func (g *Grid32) Widen() *Grid {
+	out := &Grid{Nx: g.Nx, Ny: g.Ny, Dx: g.Dx, Dy: g.Dy, X0: g.X0, Y0: g.Y0,
+		Data: make([]float64, len(g.Data))}
+	for i, v := range g.Data {
+		out.Data[i] = float64(v)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 	"roughsurface/internal/grid"
 	"roughsurface/internal/par"
 	"roughsurface/internal/rng"
+	"roughsurface/internal/simd"
 )
 
 // Engine selects the inhomogeneous generation path.
@@ -81,10 +82,13 @@ type extentGroup struct {
 }
 
 // tileArena is one worker's scratch for rendering a multi-active tile.
+// The f64 and f32 paths keep separate field buffers so a mixed-precision
+// serving workload does not thrash one set of allocations.
 type tileArena struct {
-	fields [][]float64 // one tile-sized buffer per active component
-	w      []float64   // BlendWeights output, length M
-	active []int       // indices of active components
+	fields   [][]float64 // one tile-sized buffer per active component
+	fields32 [][]float32 // f32 render path's counterpart
+	w        []float64   // BlendWeights output, length M
+	active   []int       // indices of active components
 }
 
 func growFloats(buf []float64, n int) []float64 {
@@ -92,6 +96,13 @@ func growFloats(buf []float64, n int) []float64 {
 		return buf[:n]
 	}
 	return make([]float64, n)
+}
+
+func growFloats32(buf []float32, n int) []float32 {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]float32, n)
 }
 
 // NewGenerator validates the component set against the blender.
@@ -304,16 +315,30 @@ func (g *Generator) renderTile(out *grid.Grid, i0, j0 int64, t grid.Tile, mask [
 	ar.fields = fields[:cap(fields)]
 	w := growFloats(ar.w, len(mask))
 	ar.w = w
-	for j := 0; j < t.Ny; j++ {
-		y := float64(tj0+int64(j)) * g.dy
-		row := out.Data[base+j*out.Nx : base+j*out.Nx+t.Nx]
-		off := j * t.Nx
+	blendRows(g.blender, out.Data[base:], out.Nx, t.Nx, fields, active, 0, t.Ny, ti0, tj0, g.dx, g.dy, w)
+}
+
+// blendRows is the precision-generic weight-blend inner loop shared by
+// the tiled and dense engines: over rows [jlo, jhi) it queries the
+// blender once per sample and accumulates Σ_s w[active[s]]·fields[s].
+// dst row j spans dst[j*dstStride : j*dstStride+nx]; fields are packed
+// at row stride nx with lattice origin (i0, j0). The float64
+// instantiation performs exactly the arithmetic of the pre-generic
+// loop; the float32 one rounds each weight once per use and
+// accumulates in single precision, which the agreement gate in
+// precision_test.go bounds (DESIGN.md §13).
+func blendRows[F simd.Float](b Blender, dst []F, dstStride, nx int, fields [][]F, active []int,
+	jlo, jhi int, i0, j0 int64, dx, dy float64, w []float64) {
+	for j := jlo; j < jhi; j++ {
+		y := float64(j0+int64(j)) * dy
+		row := dst[j*dstStride : j*dstStride+nx]
+		off := j * nx
 		for i := range row {
-			x := float64(ti0+int64(i)) * g.dx
-			g.blender.BlendWeights(w, x, y)
-			var acc float64
+			x := float64(i0+int64(i)) * dx
+			b.BlendWeights(w, x, y)
+			var acc F
 			for s, m := range active {
-				acc += w[m] * fields[s][off+i]
+				acc += F(w[m]) * fields[s][off+i]
 			}
 			row[i] = acc
 		}
@@ -350,30 +375,20 @@ func (g *Generator) generateFastMasked(out *grid.Grid, i0, j0 int64, active []bo
 		g.convs[last].GenerateAtInto(out.Data, nx, i0, j0, nx, ny, g.Workers)
 		return
 	}
-	fields := make([][]float64, len(g.kernels))
+	fields := make([][]float64, 0, count)
+	act := make([]int, 0, count)
 	for m, cg := range g.convs {
 		if !active[m] {
 			continue
 		}
-		fields[m] = make([]float64, nx*ny)
-		cg.GenerateAtInto(fields[m], nx, i0, j0, nx, ny, g.Workers)
+		f := make([]float64, nx*ny)
+		cg.GenerateAtInto(f, nx, i0, j0, nx, ny, g.Workers)
+		fields = append(fields, f)
+		act = append(act, m)
 	}
 	par.For(ny, g.Workers, func(lo, hi int) {
 		w := make([]float64, len(g.kernels))
-		for j := lo; j < hi; j++ {
-			y := float64(j0+int64(j)) * g.dy
-			for i := 0; i < nx; i++ {
-				x := float64(i0+int64(i)) * g.dx
-				g.blender.BlendWeights(w, x, y)
-				var acc float64
-				for m, f := range fields {
-					if f != nil {
-						acc += w[m] * f[j*nx+i]
-					}
-				}
-				out.Data[j*nx+i] = acc
-			}
-		}
+		blendRows(g.blender, out.Data, nx, nx, fields, act, lo, hi, i0, j0, g.dx, g.dy, w)
 	})
 }
 

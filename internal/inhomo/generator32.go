@@ -1,0 +1,208 @@
+package inhomo
+
+import (
+	"roughsurface/internal/convgen"
+	"roughsurface/internal/grid"
+	"roughsurface/internal/par"
+	"roughsurface/internal/rng"
+	"roughsurface/internal/simd"
+)
+
+// GenerateAt32 is GenerateAt at float32 render precision: every engine
+// below runs the same path selection as the reference API, with the
+// component convolutions and the weight blend instantiated at float32
+// (blendRows, convgen.GenerateAtInto32). Agreement with the float64
+// engine is tolerance-gated in precision_test.go; the serving daemon
+// uses this path for f32 tiles.
+func (g *Generator) GenerateAt32(i0, j0 int64, nx, ny int) *grid.Grid32 {
+	out := grid.New32(nx, ny)
+	g.GenerateAtInto32(out, i0, j0)
+	return out
+}
+
+// GenerateAtInto32 renders the window with lower lattice corner
+// (i0, j0) into the caller-owned float32 grid, mirroring
+// GenerateAtInto's contract (size fixed by the grid, metadata
+// overwritten, pooled per-tile scratch).
+func (g *Generator) GenerateAtInto32(out *grid.Grid32, i0, j0 int64) {
+	if out == nil || out.Nx < 1 || out.Ny < 1 {
+		panic("inhomo: GenerateAtInto32 needs a non-empty destination grid")
+	}
+	out.Dx, out.Dy = g.dx, g.dy
+	out.X0 = float64(i0) * g.dx
+	out.Y0 = float64(j0) * g.dy
+	if g.Reference {
+		// The literal eqn (46) evaluator exists to validate the fast
+		// paths, so it stays float64-only; its f32 view is the f64
+		// result rounded once per sample.
+		ref := grid.New(out.Nx, out.Ny)
+		g.generateReference(ref, i0, j0)
+		simd.Narrow(out.Data, ref.Data)
+		return
+	}
+	nx, ny := out.Nx, out.Ny
+	switch g.Engine {
+	case EngineDense:
+		g.generateFast32(out, i0, j0)
+		return
+	case EngineTiled:
+		tiles := grid.Tiling(nx, ny, g.tileSize(), g.tileSize())
+		g.generateTiled32(out, i0, j0, tiles, g.tileMasks(tiles, i0, j0))
+		return
+	}
+	if _, ok := g.blender.(SupportMasker); !ok {
+		g.generateFast32(out, i0, j0)
+		return
+	}
+	tiles := grid.Tiling(nx, ny, g.tileSize(), g.tileSize())
+	masks := g.tileMasks(tiles, i0, j0)
+	if shared := sharedMask(masks); shared != nil {
+		g.generateFastMasked32(out, i0, j0, shared)
+		return
+	}
+	g.generateTiled32(out, i0, j0, tiles, masks)
+}
+
+// noisePlane32 fills one float32 noise plane covering the window plus
+// the largest component halo. Every component reads the same seed's
+// field, so a single plane serves all tiles and all components — the
+// Box–Muller transform (log/sqrt/cos per sample, the dominant cost of
+// small-kernel tile rendering) runs once per lattice point instead of
+// once per tile per active component.
+func (g *Generator) noisePlane32(i0, j0 int64, nx, ny int) (plane []float32, pnx int, pi0, pj0 int64) {
+	var l, r, t, b int
+	for _, k := range g.kernels {
+		l = max(l, k.CX)
+		r = max(r, k.Nx-1-k.CX)
+		t = max(t, k.CY)
+		b = max(b, k.Ny-1-k.CY)
+	}
+	pi0, pj0 = i0-int64(l), j0-int64(t)
+	pnx = nx + l + r
+	pny := ny + t + b
+	plane = make([]float32, pnx*pny)
+	field := rng.NewField(g.seed)
+	par.For(pny, g.Workers, func(lo, hi int) {
+		for row := lo; row < hi; row++ {
+			field.FillRow32(plane[row*pnx:(row+1)*pnx], pi0, pj0+int64(row))
+		}
+	})
+	return plane, pnx, pi0, pj0
+}
+
+// generateTiled32 is generateTiled with float32 tile rendering against
+// a shared noise plane.
+func (g *Generator) generateTiled32(out *grid.Grid32, i0, j0 int64, tiles []grid.Tile, masks [][]bool) {
+	plane, pnx, pi0, pj0 := g.noisePlane32(i0, j0, out.Nx, out.Ny)
+	par.Dynamic(len(tiles), g.Workers, func(t int) {
+		g.renderTile32(out, i0, j0, tiles[t], masks[t], plane, pnx, pi0, pj0)
+	})
+}
+
+// renderTile32 is renderTile at float32: active components convolve
+// from the shared noise plane into pooled f32 scratch, and the float32
+// instantiation of blendRows fuses the w·F accumulation. Weights stay
+// float64 out of the blender and round once per use.
+func (g *Generator) renderTile32(out *grid.Grid32, i0, j0 int64, t grid.Tile, mask []bool,
+	plane []float32, pnx int, pi0, pj0 int64) {
+	ar := g.arenas.Get().(*tileArena)
+	defer g.arenas.Put(ar)
+	active := ar.active[:0]
+	for m, on := range mask {
+		if on {
+			active = append(active, m)
+		}
+	}
+	if len(active) == 0 {
+		// Same broken-masker guard as the f64 path.
+		for m := range mask {
+			active = append(active, m)
+		}
+	}
+	ar.active = active
+
+	base := t.Y0*out.Nx + t.X0
+	ti0, tj0 := i0+int64(t.X0), j0+int64(t.Y0)
+	if len(active) == 1 {
+		g.convs[active[0]].ConvolveNoiseInto32(out.Data[base:], out.Nx, plane, pnx, pi0, pj0, ti0, tj0, t.Nx, t.Ny, 1)
+		return
+	}
+
+	n := t.Nx * t.Ny
+	if cap(ar.fields32) < len(active) {
+		ar.fields32 = append(ar.fields32, make([][]float32, len(active)-len(ar.fields32))...)
+	}
+	fields := ar.fields32[:len(active)]
+	for s, m := range active {
+		fields[s] = growFloats32(fields[s], n)
+		g.convs[m].ConvolveNoiseInto32(fields[s], t.Nx, plane, pnx, pi0, pj0, ti0, tj0, t.Nx, t.Ny, 1)
+	}
+	ar.fields32 = fields[:cap(fields)]
+	w := growFloats(ar.w, len(mask))
+	ar.w = w
+	blendRows(g.blender, out.Data[base:], out.Nx, t.Nx, fields, active, 0, t.Ny, ti0, tj0, g.dx, g.dy, w)
+}
+
+// generateFast32 is generateFast at float32.
+func (g *Generator) generateFast32(out *grid.Grid32, i0, j0 int64) {
+	active := make([]bool, len(g.kernels))
+	for i := range active {
+		active[i] = true
+	}
+	g.generateFastMasked32(out, i0, j0, active)
+}
+
+// generateFastMasked32 is generateFastMasked at float32: component
+// fields render once at f32 over the whole window and the dense blend
+// sweep runs the float32 blendRows instantiation.
+func (g *Generator) generateFastMasked32(out *grid.Grid32, i0, j0 int64, active []bool) {
+	nx, ny := out.Nx, out.Ny
+	count := 0
+	last := 0
+	for m, on := range active {
+		if on {
+			count++
+			last = m
+		}
+	}
+	if count == 1 {
+		g.convs[last].GenerateAtInto32(out.Data, nx, i0, j0, nx, ny, g.Workers)
+		return
+	}
+	// One shared noise plane serves every component when they all run
+	// the direct engine for this window; a component whose kernel is
+	// large enough to pick FFT keeps the self-contained path (the FFT
+	// engine amortizes better than plane reuse there).
+	allDirect := true
+	for m, cg := range g.convs {
+		if active[m] && cg.EngineFor(nx, ny) != convgen.EngineDirect {
+			allDirect = false
+			break
+		}
+	}
+	var plane []float32
+	var pnx int
+	var pi0, pj0 int64
+	if allDirect {
+		plane, pnx, pi0, pj0 = g.noisePlane32(i0, j0, nx, ny)
+	}
+	fields := make([][]float32, 0, count)
+	act := make([]int, 0, count)
+	for m, cg := range g.convs {
+		if !active[m] {
+			continue
+		}
+		f := make([]float32, nx*ny)
+		if allDirect {
+			cg.ConvolveNoiseInto32(f, nx, plane, pnx, pi0, pj0, i0, j0, nx, ny, g.Workers)
+		} else {
+			cg.GenerateAtInto32(f, nx, i0, j0, nx, ny, g.Workers)
+		}
+		fields = append(fields, f)
+		act = append(act, m)
+	}
+	par.For(ny, g.Workers, func(lo, hi int) {
+		w := make([]float64, len(g.kernels))
+		blendRows(g.blender, out.Data, nx, nx, fields, act, lo, hi, i0, j0, g.dx, g.dy, w)
+	})
+}

@@ -182,6 +182,26 @@ func (f Field) FillRow(dst []float64, i0, j int64) {
 	}
 }
 
+// FillRow32 is FillRow narrowed to float32 at the store: each sample is
+// the float64 field value rounded once to single precision, so the f32
+// render pipeline sees the same realization as the reference engine to
+// within one rounding step. The Box–Muller math stays in float64 —
+// log/sqrt/cos dominate the cost either way, and computing in f32 would
+// compound rounding without saving time.
+func (f Field) FillRow32(dst []float32, i0, j int64) {
+	rowSeed := f.seed ^ uint64(j)*0xc2b2ae3d27d4eb4f
+	i := uint64(i0) * 0x9e3779b97f4a7c15
+	for m := range dst {
+		st := rowSeed ^ i
+		i += 0x9e3779b97f4a7c15
+		h1 := splitmix64(&st)
+		h2 := splitmix64(&st)
+		u1 := (float64(h1>>11) + 0.5) * (1.0 / (1 << 53)) // (0,1): safe in log
+		u2 := float64(h2>>11) * (1.0 / (1 << 53))         // [0,1): angle
+		dst[m] = float32(math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2))
+	}
+}
+
 // FillRect materializes the window [i0, i0+nx) × [j0, j0+ny) of the field
 // into dst (row-major, nx fast).
 func (f Field) FillRect(dst []float64, i0, j0 int64, nx, ny int) {

@@ -123,9 +123,11 @@ type sceneEntry struct {
 }
 
 // tileGen renders one window of the deterministic surface for one
-// (scene, seed). Implementations are safe for concurrent use.
+// (scene, seed), at reference (f64) or serving (f32) precision.
+// Implementations are safe for concurrent use.
 type tileGen interface {
 	generate(out *grid.Grid, i0, j0 int64)
+	generate32(out *grid.Grid32, i0, j0 int64)
 }
 
 // generator returns the (scene, seed) tile generator, designing the
@@ -195,6 +197,14 @@ func (h *homogGen) generate(out *grid.Grid, i0, j0 int64) {
 	h.conv.GenerateAtInto(out.Data, out.Nx, i0, j0, out.Nx, out.Ny, h.workers)
 }
 
+func (h *homogGen) generate32(out *grid.Grid32, i0, j0 int64) {
+	k := h.conv.Kernel()
+	out.Dx, out.Dy = k.Dx, k.Dy
+	out.X0 = float64(i0) * k.Dx
+	out.Y0 = float64(j0) * k.Dy
+	h.conv.GenerateAtInto32(out.Data, out.Nx, i0, j0, out.Nx, out.Ny, h.workers)
+}
+
 // inhomoGen serves plate/point scenes through the tile-sparse engine.
 type inhomoGen struct {
 	gen *inhomo.Generator
@@ -202,4 +212,8 @@ type inhomoGen struct {
 
 func (h *inhomoGen) generate(out *grid.Grid, i0, j0 int64) {
 	h.gen.GenerateAtInto(out, i0, j0)
+}
+
+func (h *inhomoGen) generate32(out *grid.Grid32, i0, j0 int64) {
+	h.gen.GenerateAtInto32(out, i0, j0)
 }

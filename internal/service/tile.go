@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"roughsurface/internal/core"
 	"roughsurface/internal/grid"
 	"roughsurface/internal/render"
 )
@@ -54,9 +55,12 @@ const (
 	formatPNG = "png" // terrain-colormapped render.PNG
 )
 
-// cacheKey is the full identity of a tile response.
-func cacheKey(sceneID string, seed uint64, w window, format string) string {
-	return fmt.Sprintf("%s|%d|%d,%d,%dx%d|%s", sceneID, seed, w.x0, w.y0, w.nx, w.ny, format)
+// cacheKey is the full identity of a tile response. precision is part
+// of the key because f32 and f64 renders of the same window differ in
+// bytes (within tolerance, but cached responses must be reproducible
+// bit-for-bit for their parameters).
+func cacheKey(sceneID string, seed uint64, w window, format, precision string) string {
+	return fmt.Sprintf("%s|%d|%d,%d,%dx%d|%s|%s", sceneID, seed, w.x0, w.y0, w.nx, w.ny, format, precision)
 }
 
 // handleTile is GET /v1/scene/{id}/tile/{win}. The fast path is a pure
@@ -95,8 +99,19 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		}
 		format = q
 	}
+	precision := entry.Scene.Precision // normalized: "" means f64
+	if precision == "" {
+		precision = core.PrecisionF64
+	}
+	if q := r.URL.Query().Get("precision"); q != "" {
+		if q != core.PrecisionF32 && q != core.PrecisionF64 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("precision %q: want f32 or f64", q))
+			return
+		}
+		precision = q
+	}
 
-	key := cacheKey(entry.ID, seed, win, format)
+	key := cacheKey(entry.ID, seed, win, format, precision)
 	if e, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
 		writeTile(w, e, win, "hit")
@@ -113,7 +128,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 			done <- tileResult{err: ctx.Err()}
 			return
 		}
-		res := s.renderTile(ctx, entry, seed, win, format)
+		res := s.renderTile(ctx, entry, seed, win, format, precision)
 		if res.err == nil {
 			s.cache.add(&cacheEntry{key: key, body: res.body, ctype: res.ctype})
 		}
@@ -156,11 +171,27 @@ type tileResult struct {
 }
 
 // renderTile generates and encodes one tile. Runs on a pool worker;
-// ctx carries the request deadline across the submit boundary.
-func (s *Server) renderTile(ctx context.Context, entry *sceneEntry, seed uint64, win window, format string) tileResult {
+// ctx carries the request deadline across the submit boundary. At f32
+// precision the surface renders through the single-precision SIMD
+// pipeline (half the working set, vectorized MAC kernels) and the f32
+// wire format is emitted without a float64 round trip; PNG tiles widen
+// the rendered samples for the shared colormapper.
+func (s *Server) renderTile(ctx context.Context, entry *sceneEntry, seed uint64, win window, format, precision string) tileResult {
 	gen, err := entry.generator(ctx, seed)
 	if err != nil {
 		return tileResult{err: err}
+	}
+	if precision == core.PrecisionF32 {
+		out := grid.New32(win.nx, win.ny)
+		gen.generate32(out, win.x0, win.y0)
+		if format == formatPNG {
+			var buf bytes.Buffer
+			if err := render.PNG(&buf, out.Widen()); err != nil {
+				return tileResult{err: err}
+			}
+			return tileResult{body: buf.Bytes(), ctype: "image/png"}
+		}
+		return tileResult{body: encodeF32Native(out), ctype: "application/octet-stream"}
 	}
 	out := grid.New(win.nx, win.ny)
 	gen.generate(out, win.x0, win.y0)
@@ -184,6 +215,17 @@ func encodeF32(g *grid.Grid) []byte {
 	body := make([]byte, 4*len(g.Data))
 	for i, v := range g.Data {
 		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(float32(v)))
+	}
+	return body
+}
+
+// encodeF32Native packs an f32-rendered tile: the samples already hold
+// the wire precision, so the body is their little-endian bits with no
+// widen/narrow round trip.
+func encodeF32Native(g *grid.Grid32) []byte {
+	body := make([]byte, 4*len(g.Data))
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(v))
 	}
 	return body
 }

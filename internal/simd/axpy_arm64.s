@@ -1,0 +1,85 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func axpy32NEON(alpha float32, x, y []float32)
+//
+// y[i] += alpha*x[i], 8 floats (two 4-lane FMLA) per main-loop
+// iteration. FMLA fuses the multiply-add, matching the FMADD the Go
+// compiler emits for the scalar pattern on arm64 (DESIGN.md §13).
+//
+// Go operand order: VFMLA Vm, Vn, Vd computes Vd += Vn*Vm, and
+// FMADDS Fm, Fa, Fn, Fd computes Fd = Fa + Fn*Fm.
+TEXT ·axpy32NEON(SB), NOSPLIT, $0-56
+	FMOVS alpha+0(FP), F0
+	VDUP  V0.S[0], V0.S4
+	MOVD  x_base+8(FP), R1
+	MOVD  y_base+32(FP), R2
+	MOVD  y_len+40(FP), R3
+	LSR   $3, R3, R4
+	CBZ   R4, tail32
+
+loop8:
+	VLD1.P 32(R1), [V1.S4, V2.S4]
+	VLD1   (R2), [V3.S4, V4.S4]
+	VFMLA  V0.S4, V1.S4, V3.S4
+	VFMLA  V0.S4, V2.S4, V4.S4
+	VST1.P [V3.S4, V4.S4], 32(R2)
+	SUB    $1, R4
+	CBNZ   R4, loop8
+
+tail32:
+	AND $7, R3, R5
+	CBZ R5, done32
+
+scalar32:
+	FMOVS  (R1), F1
+	FMOVS  (R2), F2
+	FMADDS F0, F2, F1, F2
+	FMOVS  F2, (R2)
+	ADD    $4, R1
+	ADD    $4, R2
+	SUB    $1, R5
+	CBNZ   R5, scalar32
+
+done32:
+	RET
+
+// func axpy64NEON(alpha float64, x, y []float64)
+//
+// y[i] += alpha*x[i], 4 doubles (two 2-lane FMLA) per main-loop
+// iteration.
+TEXT ·axpy64NEON(SB), NOSPLIT, $0-56
+	FMOVD alpha+0(FP), F0
+	VDUP  V0.D[0], V0.D2
+	MOVD  x_base+8(FP), R1
+	MOVD  y_base+32(FP), R2
+	MOVD  y_len+40(FP), R3
+	LSR   $2, R3, R4
+	CBZ   R4, tail64
+
+loop4:
+	VLD1.P 32(R1), [V1.D2, V2.D2]
+	VLD1   (R2), [V3.D2, V4.D2]
+	VFMLA  V0.D2, V1.D2, V3.D2
+	VFMLA  V0.D2, V2.D2, V4.D2
+	VST1.P [V3.D2, V4.D2], 32(R2)
+	SUB    $1, R4
+	CBNZ   R4, loop4
+
+tail64:
+	AND $3, R3, R5
+	CBZ R5, done64
+
+scalar64:
+	FMOVD  (R1), F1
+	FMOVD  (R2), F2
+	FMADDD F0, F2, F1, F2
+	FMOVD  F2, (R2)
+	ADD    $8, R1
+	ADD    $8, R2
+	SUB    $1, R5
+	CBNZ   R5, scalar64
+
+done64:
+	RET

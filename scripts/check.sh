@@ -75,6 +75,16 @@ step_begin "go vet"
 go vet ./...
 step_end
 
+# The precision-generic render pipeline ships hand-written MAC kernels
+# for amd64 and arm64 plus a pure-Go fallback behind -tags noasm; all
+# three must keep compiling, and the fallback must keep passing the
+# convolution agreement tests, no matter which architecture CI runs on.
+step_begin "cross-compile (arm64) + noasm fallback tests"
+GOARCH=arm64 go build ./...
+GOARCH=arm64 go vet ./internal/simd
+go test -tags noasm ./internal/simd ./internal/convgen
+step_end
+
 step_begin "rrslint (findings -> $LINT_JSON, SARIF -> $LINT_SARIF)"
 if ! go run ./cmd/rrslint -json ./... > "$LINT_JSON"; then
     echo "rrslint findings:" >&2
@@ -153,6 +163,7 @@ if [[ "$FUZZTIME" != "0" ]]; then
     step_begin "fuzz smoke ($FUZZTIME each)"
     go test -run='^$' -fuzz=FuzzRead -fuzztime="$FUZZTIME" ./internal/grid
     go test -run='^$' -fuzz=FuzzParseScene -fuzztime="$FUZZTIME" ./internal/core
+    go test -run='^$' -fuzz=FuzzConv32Agreement -fuzztime="$FUZZTIME" ./internal/convgen
     go test -run='^$' -fuzz=FuzzSupportMaskPlate -fuzztime="$FUZZTIME" ./internal/inhomo
     go test -run='^$' -fuzz=FuzzSupportMaskPoint -fuzztime="$FUZZTIME" ./internal/inhomo
     go test -run='^$' -fuzz=FuzzCFG -fuzztime="$FUZZTIME" ./internal/lint
