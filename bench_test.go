@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"roughsurface/internal/convgen"
+	"roughsurface/internal/core"
 	"roughsurface/internal/dftgen"
 	"roughsurface/internal/figures"
 	"roughsurface/internal/grid"
@@ -426,4 +427,64 @@ func BenchmarkExactVarianceOverhead(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkZoomWalk is the tile-pyramid headline (ISSUE 8): serving a
+// fixed pan+zoom trace (levels 0..3, the rrsload zoom-walk shape) from
+// per-level kernels versus rendering the equivalent map area entirely
+// at level 0. A level-z tile covers 4^z level-0 tiles' worth of area,
+// so the pyramid renders ~85× fewer samples over this trace; the gate
+// in bench.sh requires the pyramid to take at most 40% of the level-0
+// time. Generators are pre-built for both arms — the benchmark
+// measures render cost, not kernel design.
+func BenchmarkZoomWalk(b *testing.B) {
+	sc := core.Scene{Nx: 64, Ny: 64, Method: core.MethodHomogeneous,
+		Spectrum: &core.SpectrumSpec{Family: "gaussian", H: 1, CL: 8}}
+	const (
+		edge = 64
+		zmax = 3
+	)
+	// Two tiles per level — a pan step at each stop of the zoom-out.
+	var trace [][3]int64
+	for z := 0; z <= zmax; z++ {
+		trace = append(trace, [3]int64{int64(z), 0, 0}, [3]int64{int64(z), 1, 0})
+	}
+	gens := make([]*convgen.Generator, zmax+1)
+	for z := 0; z <= zmax; z++ {
+		view, err := sc.AtLevel(z)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comp, err := view.Components()
+		if err != nil {
+			b.Fatal(err)
+		}
+		gens[z] = convgen.NewGenerator(comp.Kernels[0], 1)
+	}
+	buf := make([]float64, edge*edge)
+
+	b.Run("pyramid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, step := range trace {
+				gens[step[0]].GenerateAtInto(buf, edge, step[1]*edge, step[2]*edge, edge, edge, 1)
+			}
+		}
+	})
+	b.Run("level0", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, step := range trace {
+				// The same physical area at full resolution: a level-z
+				// tile spans f×f level-0 tiles (f = 2^z).
+				f := int64(1) << uint(step[0])
+				for ty := int64(0); ty < f; ty++ {
+					for tx := int64(0); tx < f; tx++ {
+						gens[0].GenerateAtInto(buf, edge,
+							(step[1]*f+tx)*edge, (step[2]*f+ty)*edge, edge, edge, 1)
+					}
+				}
+			}
+		}
+	})
 }

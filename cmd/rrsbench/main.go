@@ -238,6 +238,38 @@ func Compare(old, new *Report, opts CompareOpts) []Delta {
 	return deltas
 }
 
+// UnmatchedRenames reports -map entries that cannot gate anything:
+// old names with no ns/op benchmark in the baseline report, and new
+// names absent from the new report. Compare silently skips such pairs
+// (there is nothing to diff), which is correct for the diff but lets a
+// renamed-bench gate rot unnoticed when a benchmark is renamed again
+// or deleted — callers should surface these as warnings.
+func UnmatchedRenames(old, new *Report, rename map[string]string) (missingOld, missingNew []string) {
+	inOld := make(map[string]bool, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		if e.NsPerOp != nil {
+			inOld[e.Name] = true
+		}
+	}
+	inNew := make(map[string]bool, len(new.Benchmarks))
+	for _, e := range new.Benchmarks {
+		if e.NsPerOp != nil {
+			inNew[e.Name] = true
+		}
+	}
+	for o, n := range rename {
+		if !inOld[o] {
+			missingOld = append(missingOld, o)
+		}
+		if !inNew[n] {
+			missingNew = append(missingNew, n)
+		}
+	}
+	sort.Strings(missingOld)
+	sort.Strings(missingNew)
+	return missingOld, missingNew
+}
+
 // parseRenames decodes the repeated -map values: each is a
 // comma-separated list of old=new benchmark name pairs. Benchmark
 // names may themselves contain "=" (sub-benchmarks like taps=64x64),
@@ -313,6 +345,15 @@ func compareMain(args []string) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	missingOld, missingNew := UnmatchedRenames(oldRep, newRep, rename)
+	if len(missingOld) > 0 {
+		fmt.Fprintf(os.Stderr, "rrsbench compare: warning: -map old name(s) not in %s: %s\n",
+			fs.Arg(0), strings.Join(missingOld, ", "))
+	}
+	if len(missingNew) > 0 {
+		fmt.Fprintf(os.Stderr, "rrsbench compare: warning: -map new name(s) not in %s: %s\n",
+			fs.Arg(1), strings.Join(missingNew, ", "))
 	}
 	deltas := Compare(oldRep, newRep, CompareOpts{Threshold: *threshold, Tolerance: *tolerance, Rename: rename})
 	if len(deltas) == 0 {

@@ -188,3 +188,26 @@ func TestParseRenames(t *testing.T) {
 		t.Errorf("nil specs: %v, %v", m, err)
 	}
 }
+
+// TestUnmatchedRenames pins the -map rot warning: pairs whose old name
+// is missing from the baseline or whose new name is missing from the
+// new report are surfaced instead of silently gating nothing.
+func TestUnmatchedRenames(t *testing.T) {
+	old := mkReport(map[string]float64{"A": 100, "B": 200})
+	new := mkReport(map[string]float64{"A2": 90, "C": 50})
+	rename := map[string]string{
+		"A":    "A2", // fully matched
+		"B":    "B2", // new name missing from the new report
+		"Gone": "C",  // old name missing from the baseline
+	}
+	missingOld, missingNew := UnmatchedRenames(old, new, rename)
+	if len(missingOld) != 1 || missingOld[0] != "Gone" {
+		t.Errorf("missingOld = %v, want [Gone]", missingOld)
+	}
+	if len(missingNew) != 1 || missingNew[0] != "B2" {
+		t.Errorf("missingNew = %v, want [B2]", missingNew)
+	}
+	if mo, mn := UnmatchedRenames(old, new, map[string]string{"A": "A2"}); len(mo) != 0 || len(mn) != 0 {
+		t.Errorf("fully matched map reported unmatched: %v %v", mo, mn)
+	}
+}

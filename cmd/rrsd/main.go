@@ -5,6 +5,7 @@
 //	rrsd -addr :8270
 //	curl -X POST --data @scene.json localhost:8270/v1/scene
 //	curl "localhost:8270/v1/scene/<id>/tile/0,0,256x256?seed=7&format=png" > tile.png
+//	curl "localhost:8270/v1/scene/<id>/tile/3/0,0?seed=7&format=png" > tile_z3.png
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes,
 // in-flight tile requests drain (bounded by -drain), the worker pool
@@ -48,6 +49,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cacheMB := fs.Int64("cache-mb", 256, "tile LRU capacity in MiB (0 disables)")
 	maxEdge := fs.Int("max-tile-edge", 4096, "maximum tile edge in samples")
 	genWorkers := fs.Int("gen-workers", 1, "intra-tile render parallelism")
+	tileEdge := fs.Int("tile-edge", 256, "fixed edge of pyramid-route tiles")
+	maxLevel := fs.Int("max-level", 8, "deepest pyramid level served")
+	pinLevel := fs.Int("pin-level", 2, "pin tiles at levels >= this to the pinned cache tier (-1 disables)")
+	pinCacheMB := fs.Int64("pin-cache-mb", 32, "pinned (coarse-level) tile tier capacity in MiB (0 folds into -cache-mb)")
+	prefetchQueue := fs.Int("prefetch-queue", 32, "neighbor-prefetch queue depth (-1 disables prefetch)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown drain deadline")
 	portFile := fs.String("portfile", "", "write the bound address to this file once listening (for scripts)")
 	quiet := fs.Bool("q", false, "disable access logging")
@@ -59,6 +65,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *cacheMB == 0 {
 		cacheBytes = -1
 	}
+	pinCacheBytes := *pinCacheMB << 20
+	if *pinCacheMB == 0 {
+		pinCacheBytes = -1
+	}
 	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -66,6 +76,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		CacheBytes:     cacheBytes,
 		MaxTileEdge:    *maxEdge,
 		GenWorkers:     *genWorkers,
+		TileEdge:       *tileEdge,
+		MaxLevel:       *maxLevel,
+		PinLevel:       *pinLevel,
+		PinCacheBytes:  pinCacheBytes,
+		PrefetchQueue:  *prefetchQueue,
 	}
 	if !*quiet {
 		cfg.AccessLog = log.New(out, "rrsd: ", log.LstdFlags)

@@ -7,6 +7,14 @@
 // counts:
 //
 //	rrsload -url http://localhost:8270 -duration 10s -qps 200 -c 8
+//
+// -walk zoom switches to the pyramid workload: every worker replays a
+// deterministic map-session trace (pan a viewport, zoom in level by
+// level, zoom back out along a shifted path) against the
+// /tile/{z}/{x},{y} route and the report adds per-level cache hit
+// rates:
+//
+//	rrsload -url http://localhost:8270 -duration 10s -walk zoom -zmax 3
 package main
 
 import (
@@ -43,6 +51,8 @@ func main() {
 type sample struct {
 	code    int // 0 = transport error
 	latency time.Duration
+	level   int  // pyramid level, -1 for free-window requests
+	hit     bool // X-Cache: hit
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
@@ -57,8 +67,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seeds := fs.Int("seeds", 4, "number of distinct seeds to rotate through")
 	span := fs.Int64("span", 4096, "tile origins are spread over [-span, span) on each axis")
 	format := fs.String("format", "f32", "tile format to request (f32 or png)")
+	walk := fs.String("walk", "sizes", "workload: sizes (free-window mix) or zoom (pyramid pan+zoom trace)")
+	zmax := fs.Int("zmax", 3, "deepest pyramid level of the zoom walk")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *walk != "sizes" && *walk != "zoom" {
+		return fmt.Errorf("-walk %q: want sizes or zoom", *walk)
+	}
+	if *zmax < 0 {
+		return errors.New("-zmax must be >= 0")
 	}
 	if *baseURL == "" {
 		return errors.New("-url is required")
@@ -95,6 +113,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	runCtx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 	client := &http.Client{}
+	trace := zoomTrace(*zmax)
 	perWorker := make([][]sample, *conc)
 	start := time.Now()
 	par.ForEach(*conc, *conc, func(w int) {
@@ -112,7 +131,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if runCtx.Err() != nil || !time.Now().Before(deadline) {
 				break
 			}
-			got = append(got, fetchTile(runCtx, client, *baseURL, id, tileFor(w, k, mix, *seeds, *span, *format)))
+			if *walk == "zoom" {
+				// Workers replay the same trace at staggered offsets: a
+				// fleet of map sessions over one scene, sharing the cache
+				// the way real viewers of one dataset would.
+				step := trace[(w*31+k)%len(trace)]
+				got = append(got, fetchZoomTile(runCtx, client, *baseURL, id, step, *format))
+			} else {
+				got = append(got, fetchTile(runCtx, client, *baseURL, id, tileFor(w, k, mix, *seeds, *span, *format)))
+			}
 		}
 		perWorker[w] = got
 	})
@@ -123,7 +150,67 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		all = append(all, s...)
 	}
 	report(out, all, elapsed)
+	if *walk == "zoom" {
+		reportLevels(out, all)
+	}
 	return nil
+}
+
+// zoomTrace builds the deterministic pan+zoom trajectory: starting at
+// level zmax, pan a 2×2-tile viewport through four positions, zoom in
+// one level (tile coordinates double: the viewport keeps its physical
+// center), repeat down to level 0, then zoom back out along a path
+// shifted one tile so the return trip isn't a pure replay. Every call
+// returns the same trace — runs are comparable by construction.
+func zoomTrace(zmax int) [][3]int64 {
+	var trace [][3]int64
+	view := func(z int, cx, cy int64) {
+		for dy := int64(0); dy < 2; dy++ {
+			for dx := int64(0); dx < 2; dx++ {
+				trace = append(trace, [3]int64{int64(z), cx + dx, cy + dy})
+			}
+		}
+	}
+	cx, cy := int64(0), int64(0)
+	for z := zmax; z >= 0; z-- {
+		for pan := int64(0); pan < 4; pan++ {
+			view(z, cx+pan, cy)
+		}
+		cx, cy = (cx+3)*2, cy*2 // zoom in under the panned viewport
+	}
+	cx, cy = cx/2, cy/2+1
+	for z := 1; z <= zmax; z++ {
+		for pan := int64(0); pan < 4; pan++ {
+			view(z, cx-pan, cy)
+		}
+		cx, cy = cx/2-3, cy/2+1
+	}
+	return trace
+}
+
+// fetchZoomTile requests one pyramid tile of the trace. The zoom walk
+// keeps a single seed: per-level cache behavior is the point, and seed
+// rotation would just scale every level's miss count equally.
+func fetchZoomTile(ctx context.Context, client *http.Client, base, id string, step [3]int64, format string) sample {
+	url := fmt.Sprintf("%s/v1/scene/%s/tile/%d/%d,%d?seed=1&format=%s",
+		base, id, step[0], step[1], step[2], format)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return sample{level: int(step[0])}
+	}
+	begin := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(begin), level: int(step[0])}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{
+		code:    resp.StatusCode,
+		latency: time.Since(begin),
+		level:   int(step[0]),
+		hit:     resp.Header.Get("X-Cache") == "hit",
+	}
 }
 
 // tileSpec is one request in the deterministic schedule.
@@ -157,16 +244,17 @@ func fetchTile(ctx context.Context, client *http.Client, base, id string, ts til
 		base, id, ts.x0, ts.y0, ts.nx, ts.ny, ts.seed, ts.format)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return sample{}
+		return sample{level: -1}
 	}
 	begin := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		return sample{latency: time.Since(begin)}
+		return sample{latency: time.Since(begin), level: -1}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return sample{code: resp.StatusCode, latency: time.Since(begin)}
+	return sample{code: resp.StatusCode, latency: time.Since(begin), level: -1,
+		hit: resp.Header.Get("X-Cache") == "hit"}
 }
 
 func registerScene(ctx context.Context, base string, scene []byte) (string, error) {
@@ -253,4 +341,30 @@ func report(out io.Writer, all []sample, elapsed time.Duration) {
 		parts = append(parts, fmt.Sprintf("%s=%d", label, codes[c]))
 	}
 	fmt.Fprintf(out, "rrsload: status %s\n", strings.Join(parts, " "))
+}
+
+// reportLevels prints per-pyramid-level request counts and cache hit
+// rates for the zoom walk — the client-side view of the daemon's
+// rrsd_tile_level_{hits,misses}_total counters.
+func reportLevels(out io.Writer, all []sample) {
+	counts := map[int]int{}
+	hits := map[int]int{}
+	for _, s := range all {
+		if s.level < 0 || s.code != http.StatusOK {
+			continue
+		}
+		counts[s.level]++
+		if s.hit {
+			hits[s.level]++
+		}
+	}
+	levels := make([]int, 0, len(counts))
+	for z := range counts {
+		levels = append(levels, z)
+	}
+	sort.Ints(levels)
+	for _, z := range levels {
+		fmt.Fprintf(out, "rrsload: level %d: %d tiles, %.1f%% cache hits\n",
+			z, counts[z], 100*float64(hits[z])/float64(counts[z]))
+	}
 }

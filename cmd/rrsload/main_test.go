@@ -88,3 +88,64 @@ func TestRunFlagValidation(t *testing.T) {
 		t.Error("bad -sizes accepted")
 	}
 }
+
+func TestZoomTraceDeterministicAndCoversLevels(t *testing.T) {
+	trace := zoomTrace(3)
+	again := zoomTrace(3)
+	if len(trace) == 0 || len(trace) != len(again) {
+		t.Fatalf("trace lengths %d vs %d", len(trace), len(again))
+	}
+	levels := map[int64]int{}
+	for i := range trace {
+		if trace[i] != again[i] {
+			t.Fatal("zoomTrace is not deterministic")
+		}
+		if trace[i][0] < 0 || trace[i][0] > 3 {
+			t.Fatalf("step %d at level %d, outside [0,3]", i, trace[i][0])
+		}
+		levels[trace[i][0]]++
+	}
+	for z := int64(0); z <= 3; z++ {
+		if levels[z] == 0 {
+			t.Errorf("trace never visits level %d", z)
+		}
+	}
+	// The walk pans: each level visits multiple distinct tiles.
+	distinct := map[[3]int64]bool{}
+	for _, s := range trace {
+		distinct[s] = true
+	}
+	if len(distinct) < len(trace)/2 {
+		t.Errorf("trace of %d steps covers only %d distinct tiles", len(trace), len(distinct))
+	}
+}
+
+// TestRunZoomWalk drives the pyramid workload against an in-process
+// daemon and checks the per-level hit-rate report.
+func TestRunZoomWalk(t *testing.T) {
+	s := service.New(service.Config{Workers: 2, TileEdge: 32})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts.URL, "-duration", "500ms", "-qps", "200", "-c", "2",
+		"-walk", "zoom", "-zmax", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"status 200=", "level 0:", "level 2:", "% cache hits"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("zoom-walk report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "error=") {
+		t.Errorf("transport errors during zoom walk:\n%s", out)
+	}
+
+	if err := run(context.Background(), []string{"-url", "http://x", "-walk", "sideways"}, &buf); err == nil {
+		t.Error("bad -walk accepted")
+	}
+}

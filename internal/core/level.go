@@ -1,0 +1,37 @@
+package core
+
+import "fmt"
+
+// MaxPyramidLevel bounds the zoom pyramid: level L samples the surface
+// at spacing Dx·2^L, so 16 levels span a 65536× range of grid spacing —
+// far beyond any correlation length worth resolving — while keeping the
+// scale factor exactly representable in a float64.
+const MaxPyramidLevel = 16
+
+// AtLevel returns the scene viewed at pyramid level z: the same
+// physical surface description with the sample spacing scaled by 2^z.
+// Level-z lattice point (i, j) sits at physical (i·Dx·2^z, j·Dy·2^z),
+// which coincides with level-0 lattice point (i·2^z, j·2^z) — window
+// coordinates rescale with the level while regions, points and
+// transition widths stay in physical units, so blend geometry is
+// identical at every level.
+//
+// The returned scene is normalized; AtLevel(0) is exactly Normalized(),
+// so level 0 keeps the scene's content address byte-stable. Designing
+// kernels from the level view re-derives the weighting array w[m] of
+// eqn (15) at the decimated spacing, which keeps the level's statistics
+// exact instead of the low-pass-distorted statistics a box decimation
+// of level-0 samples would carry (DESIGN.md §14).
+func (sc Scene) AtLevel(z int) (Scene, error) {
+	if z < 0 || z > MaxPyramidLevel {
+		return Scene{}, fmt.Errorf("core: pyramid level %d outside [0, %d]", z, MaxPyramidLevel)
+	}
+	s := sc.normalized()
+	if z == 0 {
+		return s, nil
+	}
+	f := float64(int64(1) << uint(z))
+	s.Dx *= f
+	s.Dy *= f
+	return s, nil
+}

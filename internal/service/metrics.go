@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"roughsurface/internal/core"
 )
 
 // metrics is the daemon's hand-rolled instrumentation, exposed in
@@ -23,6 +25,16 @@ type metrics struct {
 	cacheMisses atomic.Uint64
 	tileShed    atomic.Uint64 // admissions refused (429)
 	tileExpired atomic.Uint64 // deadline passed while queued/rendering (503)
+
+	// Per-pyramid-level tile cache traffic. Fixed arrays (levels are
+	// bounded by core.MaxPyramidLevel) keep the hot path lock-free;
+	// only levels with traffic are emitted, so cardinality tracks use.
+	levelHits   [core.MaxPyramidLevel + 1]atomic.Uint64
+	levelMisses [core.MaxPyramidLevel + 1]atomic.Uint64
+
+	prefetchRendered atomic.Uint64 // neighbor tiles rendered into the cache
+	prefetchDropped  atomic.Uint64 // prefetch queue full, job shed
+	prefetchSkipped  atomic.Uint64 // job yielded to waiting foreground renders
 }
 
 type reqKey struct {
@@ -132,6 +144,25 @@ func (m *metrics) writePrometheus(w io.Writer, gauges []gaugeFn) {
 	counter("rrsd_tile_cache_misses_total", "Tile responses rendered on demand.", m.cacheMisses.Load())
 	counter("rrsd_tiles_shed_total", "Tile requests refused with 429 at admission.", m.tileShed.Load())
 	counter("rrsd_tiles_deadline_total", "Tile requests that hit the per-request deadline (503).", m.tileExpired.Load())
+
+	fmt.Fprintf(w, "# HELP rrsd_tile_level_hits_total Tile cache hits by pyramid level.\n")
+	fmt.Fprintf(w, "# TYPE rrsd_tile_level_hits_total counter\n")
+	for z := range m.levelHits {
+		if v := m.levelHits[z].Load(); v > 0 || m.levelMisses[z].Load() > 0 {
+			fmt.Fprintf(w, "rrsd_tile_level_hits_total{level=\"%d\"} %d\n", z, v)
+		}
+	}
+	fmt.Fprintf(w, "# HELP rrsd_tile_level_misses_total Tile cache misses by pyramid level.\n")
+	fmt.Fprintf(w, "# TYPE rrsd_tile_level_misses_total counter\n")
+	for z := range m.levelMisses {
+		if v := m.levelMisses[z].Load(); v > 0 || m.levelHits[z].Load() > 0 {
+			fmt.Fprintf(w, "rrsd_tile_level_misses_total{level=\"%d\"} %d\n", z, v)
+		}
+	}
+
+	counter("rrsd_prefetch_rendered_total", "Neighbor tiles prefetched into the cache.", m.prefetchRendered.Load())
+	counter("rrsd_prefetch_dropped_total", "Prefetch jobs shed at the queue.", m.prefetchDropped.Load())
+	counter("rrsd_prefetch_skipped_total", "Prefetch jobs that yielded to foreground renders.", m.prefetchSkipped.Load())
 
 	fmt.Fprintf(w, "# HELP rrsd_inflight_requests Requests currently being handled.\n")
 	fmt.Fprintf(w, "# TYPE rrsd_inflight_requests gauge\nrrsd_inflight_requests %d\n", m.inflight.Load())

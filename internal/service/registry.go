@@ -81,7 +81,8 @@ func (r *registry) register(body []byte, genWorkers, maxSeedGens int) (*sceneEnt
 		Canonical:   canonical,
 		genWorkers:  genWorkers,
 		maxSeedGens: maxSeedGens,
-		gens:        make(map[uint64]tileGen),
+		comps:       make(map[int]*levelComponents),
+		gens:        make(map[genKey]tileGen),
 	}
 	r.scenes[id] = e
 	return e, true, nil
@@ -102,24 +103,69 @@ func (r *registry) len() int {
 
 // sceneEntry is one registered scene plus everything derived from it.
 // Kernel design (the expensive, seed-independent step) runs exactly
-// once under buildOnce — sync.Once gives singleflight semantics, so a
-// burst of first requests for a new scene blocks on a single design
-// instead of designing per request. Generators (cheap, seed-dependent)
-// are cached per seed behind a small LRU.
+// once per pyramid level under a levelComponents Once — sync.Once gives
+// singleflight semantics, so a burst of first requests for a new
+// (scene, level) blocks on a single design instead of designing per
+// request. Levels are designed independently: the kernel taps are a
+// function of the level's grid spacing, and a scene serving only level
+// 0 never pays for coarser kernels. Generators (cheap, seed-dependent)
+// are cached per (level, seed) behind a small LRU.
 type sceneEntry struct {
 	ID         string
 	Scene      core.Scene
 	Canonical  []byte
 	genWorkers int
 
-	buildOnce sync.Once
-	buildErr  error
-	comp      *core.Components
+	compMu sync.Mutex
+	comps  map[int]*levelComponents
 
 	mu          sync.Mutex
-	gens        map[uint64]tileGen
-	order       []uint64 // LRU over seeds, most recent last
+	gens        map[genKey]tileGen
+	order       []genKey // LRU over (level, seed), most recent last
 	maxSeedGens int
+}
+
+// levelComponents is the design singleflight slot for one pyramid
+// level: kernels and weight maps re-derived at spacing Dx·2^level.
+// The tapsHat spectrum LRU lives inside each level's convgen
+// generators, so level keying here also keys that cache by level.
+type levelComponents struct {
+	once sync.Once
+	err  error
+	comp *core.Components
+}
+
+// genKey identifies one cached tile generator.
+type genKey struct {
+	level int
+	seed  uint64
+}
+
+// components returns the level's kernels/blender, designing them on
+// first use. Concurrent callers for the same level share one design:
+// the loser of the Once race parks until the winner's design finishes,
+// so ctx is accepted (and checked after the wait) even though the
+// design itself is CPU-bound and runs to completion once started.
+func (e *sceneEntry) components(ctx context.Context, level int) (*core.Components, error) {
+	e.compMu.Lock()
+	lc, ok := e.comps[level]
+	if !ok {
+		lc = &levelComponents{}
+		e.comps[level] = lc
+	}
+	e.compMu.Unlock()
+	lc.once.Do(func() {
+		view, err := e.Scene.AtLevel(level)
+		if err != nil {
+			lc.err = err
+			return
+		}
+		lc.comp, lc.err = view.Components()
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return lc.comp, lc.err
 }
 
 // tileGen renders one window of the deterministic surface for one
@@ -130,41 +176,37 @@ type tileGen interface {
 	generate32(out *grid.Grid32, i0, j0 int64)
 }
 
-// generator returns the (scene, seed) tile generator, designing the
-// scene's kernels on first use. ctx bounds the wait: Once.Do can park
-// a burst of first requests behind one kernel design, and a caller
+// generator returns the (scene, level, seed) tile generator, designing
+// the level's kernels on first use. ctx bounds the wait: Once.Do can
+// park a burst of first requests behind one kernel design, and a caller
 // whose deadline lapsed while parked should not then start building a
 // per-seed generator it will never use.
-func (e *sceneEntry) generator(ctx context.Context, seed uint64) (tileGen, error) {
-	e.buildOnce.Do(func() {
-		e.comp, e.buildErr = e.Scene.Components()
-	})
-	if e.buildErr != nil {
-		return nil, e.buildErr
-	}
-	if err := ctx.Err(); err != nil {
+func (e *sceneEntry) generator(ctx context.Context, level int, seed uint64) (tileGen, error) {
+	comp, err := e.components(ctx, level)
+	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if g, ok := e.gens[seed]; ok {
-		e.touch(seed)
+	key := genKey{level, seed}
+	if g, ok := e.gens[key]; ok {
+		e.touch(key)
 		return g, nil
 	}
 	var g tileGen
-	if e.comp.Blender == nil {
-		conv := convgen.NewGenerator(e.comp.Kernels[0], seed)
+	if comp.Blender == nil {
+		conv := convgen.NewGenerator(comp.Kernels[0], seed)
 		g = &homogGen{conv: conv, workers: e.genWorkers}
 	} else {
-		ig, err := inhomo.NewGenerator(e.comp.Kernels, e.comp.Blender, seed)
+		ig, err := inhomo.NewGenerator(comp.Kernels, comp.Blender, seed)
 		if err != nil {
 			return nil, err
 		}
 		ig.Workers = e.genWorkers
 		g = &inhomoGen{gen: ig}
 	}
-	e.gens[seed] = g
-	e.order = append(e.order, seed)
+	e.gens[key] = g
+	e.order = append(e.order, key)
 	if len(e.order) > e.maxSeedGens {
 		old := e.order[0]
 		e.order = e.order[1:]
@@ -173,11 +215,11 @@ func (e *sceneEntry) generator(ctx context.Context, seed uint64) (tileGen, error
 	return g, nil
 }
 
-func (e *sceneEntry) touch(seed uint64) {
-	for i, s := range e.order {
-		if s == seed {
+func (e *sceneEntry) touch(key genKey) {
+	for i, k := range e.order {
+		if k == key {
 			copy(e.order[i:], e.order[i+1:])
-			e.order[len(e.order)-1] = seed
+			e.order[len(e.order)-1] = key
 			return
 		}
 	}

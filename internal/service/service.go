@@ -5,16 +5,21 @@
 // from (scene, seed) alone — which is exactly a map-tile server's
 // contract. The daemon exposes:
 //
-//	POST /v1/scene                      register a scene, get its content-hash ID
-//	GET  /v1/scene/{id}                 canonical scene JSON
-//	GET  /v1/scene/{id}/tile/{win}      a tile; win = "x0,y0,NXxNY",
-//	                                    ?seed=S&format=f32|png
-//	GET  /healthz                       liveness
-//	GET  /metrics                       Prometheus text metrics
+//	POST /v1/scene                        register a scene, get its content-hash ID
+//	GET  /v1/scene/{id}                   canonical scene JSON
+//	GET  /v1/scene/{id}/tile/{win}        a free window; win = "x0,y0,NXxNY",
+//	                                      ?seed=S&format=f32|png&precision=f32|f64
+//	GET  /v1/scene/{id}/tile/{z}/{x},{y}  pyramid tile: fixed TileEdge² window
+//	                                      on level z's lattice (spacing ×2^z);
+//	                                      z=0 matches the free-window route
+//	GET  /healthz                         liveness
+//	GET  /metrics                         Prometheus text metrics
 //
-// Layering (DESIGN.md §11): scene registry (kernel design, once per
-// scene) → per-seed generator cache → byte-bounded tile LRU → bounded
-// worker pool with queue-depth admission control.
+// Layering (DESIGN.md §11, §14): scene registry (kernel design, once
+// per scene and pyramid level) → per-(level, seed) generator cache →
+// byte-bounded two-tier tile LRU (coarse levels pinned) → bounded
+// worker pool with queue-depth admission control, plus a subordinate
+// best-effort neighbor prefetcher.
 package service
 
 import (
@@ -25,6 +30,7 @@ import (
 	"net/http"
 	"time"
 
+	"roughsurface/internal/core"
 	"roughsurface/internal/par"
 )
 
@@ -51,9 +57,29 @@ type Config struct {
 	// 1: the pool already parallelizes across requests, and one worker
 	// per render keeps tail latency flat under load).
 	GenWorkers int
-	// MaxSeedGens bounds the per-scene cache of per-seed generators
-	// (default 32).
+	// MaxSeedGens bounds the per-scene cache of per-(level, seed)
+	// generators (default 32).
 	MaxSeedGens int
+	// TileEdge is the fixed edge of pyramid-route tiles (default 256,
+	// clamped to MaxTileEdge/MaxTileSamples).
+	TileEdge int
+	// MaxLevel bounds the pyramid depth served by /tile/{z}/...
+	// (default 8, capped at core.MaxPyramidLevel).
+	MaxLevel int
+	// PinLevel is the coarsest-tier admission threshold: tiles at
+	// levels >= PinLevel are charged to the pinned cache budget
+	// (default 2); negative disables pinning. Level 0 cannot be pinned
+	// — pinning everything is the same as not pinning.
+	PinLevel int
+	// PinCacheBytes bounds the pinned tile tier (default 32 MiB; <= 0
+	// folds pinned tiles into the main budget).
+	PinCacheBytes int64
+	// PrefetchWorkers sizes the background neighbor-prefetch pool
+	// (default 1 — prefetch is strictly subordinate to foreground).
+	PrefetchWorkers int
+	// PrefetchQueue bounds queued prefetch jobs (default 32; negative
+	// disables prefetching entirely).
+	PrefetchQueue int
 	// AccessLog receives one line per request when non-nil.
 	AccessLog *log.Logger
 }
@@ -86,6 +112,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxSeedGens <= 0 {
 		c.MaxSeedGens = 32
 	}
+	if c.TileEdge <= 0 {
+		c.TileEdge = 256
+	}
+	if c.TileEdge > c.MaxTileEdge {
+		c.TileEdge = c.MaxTileEdge
+	}
+	for c.TileEdge*c.TileEdge > c.MaxTileSamples && c.TileEdge > 1 {
+		c.TileEdge /= 2
+	}
+	if c.MaxLevel <= 0 {
+		c.MaxLevel = 8
+	}
+	if c.MaxLevel > core.MaxPyramidLevel {
+		c.MaxLevel = core.MaxPyramidLevel
+	}
+	if c.PinLevel == 0 {
+		c.PinLevel = 2
+	}
+	if c.PinCacheBytes == 0 {
+		c.PinCacheBytes = 32 << 20
+	}
+	if c.PrefetchWorkers <= 0 {
+		c.PrefetchWorkers = 1
+	}
+	if c.PrefetchQueue == 0 {
+		c.PrefetchQueue = 32
+	}
 	return c
 }
 
@@ -94,28 +147,33 @@ func (c Config) withDefaults() Config {
 // http.Server.Shutdown has drained the handlers (shutdown ordering is
 // documented in DESIGN.md §11).
 type Server struct {
-	cfg   Config
-	reg   *registry
-	cache *tileCache
-	pool  *par.Pool
-	met   *metrics
-	mux   *http.ServeMux
+	cfg      Config
+	reg      *registry
+	cache    *tileCache
+	pool     *par.Pool
+	prefetch *par.Pool // nil when PrefetchQueue < 0
+	met      *metrics
+	mux      *http.ServeMux
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pools.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		reg:   newRegistry(cfg.MaxScenes),
-		cache: newTileCache(cfg.CacheBytes),
+		cache: newTileCache(cfg.CacheBytes, cfg.PinCacheBytes),
 		pool:  par.NewPool(cfg.Workers, cfg.QueueDepth),
 		met:   newMetrics(),
+	}
+	if cfg.PrefetchQueue > 0 {
+		s.prefetch = par.NewPool(cfg.PrefetchWorkers, cfg.PrefetchQueue)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scene", s.instrument("scene_post", s.handleScenePost))
 	mux.HandleFunc("GET /v1/scene/{id}", s.instrument("scene_get", s.handleSceneGet))
 	mux.HandleFunc("GET /v1/scene/{id}/tile/{win}", s.instrument("tile", s.handleTile))
+	mux.HandleFunc("GET /v1/scene/{id}/tile/{z}/{xy}", s.instrument("tilez", s.handleTileZ))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
@@ -125,10 +183,17 @@ func New(cfg Config) *Server {
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close joins the worker pool, draining any queued renders. Call only
-// after the HTTP server has stopped delivering requests — a handler
-// submitting to a closed pool would be shed with 429.
-func (s *Server) Close() { s.pool.Close() }
+// Close joins the worker pools, draining any queued renders. The
+// prefetch pool closes first — its jobs are disposable and closing it
+// stops new background work before the foreground pool drains. Call
+// only after the HTTP server has stopped delivering requests — a
+// handler submitting to a closed pool would be shed with 429.
+func (s *Server) Close() {
+	if s.prefetch != nil {
+		s.prefetch.Close()
+	}
+	s.pool.Close()
+}
 
 // instrument wraps a handler with in-flight/latency/request metrics and
 // access logging. The route label is static per pattern so metric
@@ -142,7 +207,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		s.met.inflight.Add(-1)
 		dur := time.Since(start)
 		s.met.countRequest(route, rec.code)
-		if route == "tile" {
+		if route == "tile" || route == "tilez" {
 			s.met.latency.observe(dur)
 		}
 		if s.cfg.AccessLog != nil {
@@ -220,8 +285,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.met.writePrometheus(w, []gaugeFn{
 		{"rrsd_queue_depth", "Renders accepted but not yet started.", func() int64 { return int64(s.pool.QueueDepth()) }},
 		{"rrsd_scenes", "Scenes registered.", func() int64 { return int64(s.reg.len()) }},
-		{"rrsd_tile_cache_bytes", "Bytes held by the tile LRU.", s.cache.bytes},
-		{"rrsd_tile_cache_entries", "Entries held by the tile LRU.", func() int64 { return int64(s.cache.len()) }},
+		{"rrsd_tile_cache_bytes", "Bytes held by the tile LRU (both tiers).", s.cache.bytes},
+		{"rrsd_tile_cache_entries", "Entries held by the tile LRU (both tiers).", func() int64 { return int64(s.cache.len()) }},
+		{"rrsd_tile_cache_pinned_bytes", "Bytes held by the pinned (coarse-level) tier.", s.cache.pinnedBytes},
+		{"rrsd_tile_cache_pinned_entries", "Entries held by the pinned (coarse-level) tier.", func() int64 { return int64(s.cache.pinnedLen()) }},
+		{"rrsd_prefetch_queue_depth", "Prefetch jobs accepted but not yet started.", func() int64 {
+			if s.prefetch == nil {
+				return 0
+			}
+			return int64(s.prefetch.QueueDepth())
+		}},
 	})
 }
 

@@ -102,9 +102,14 @@ func TestSeedGeneratorLRUBounded(t *testing.T) {
 		t.Fatal(err)
 	}
 	for seed := uint64(1); seed <= 5; seed++ {
-		if _, err := e.generator(context.Background(), seed); err != nil {
+		if _, err := e.generator(context.Background(), 0, seed); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// Levels count against the same LRU: generators are sized by the
+	// kernel they wrap, not by which lattice they sample.
+	if _, err := e.generator(context.Background(), 1, 1); err != nil {
+		t.Fatal(err)
 	}
 	e.mu.Lock()
 	n := len(e.gens)
@@ -133,26 +138,29 @@ func TestParseWindow(t *testing.T) {
 }
 
 func TestTileCacheEvictsByBytes(t *testing.T) {
-	c := newTileCache(100)
+	// Each entry charges body + key + ctype + entryOverhead = 300+1+0+128
+	// = 429 bytes; a 1000-byte budget holds two but not three.
+	c := newTileCache(1000, 0)
 	body := func(n int) []byte { return make([]byte, n) }
-	c.add(&cacheEntry{key: "a", body: body(40)})
-	c.add(&cacheEntry{key: "b", body: body(40)})
+	c.add(&cacheEntry{key: "a", body: body(300)})
+	c.add(&cacheEntry{key: "b", body: body(300)})
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a evicted below capacity")
 	}
-	// "a" is now most-recent; adding 40 more evicts "b".
-	c.add(&cacheEntry{key: "c", body: body(40)})
+	// "a" is now most-recent; the third entry evicts "b".
+	c.add(&cacheEntry{key: "c", body: body(300)})
 	if _, ok := c.get("b"); ok {
 		t.Error("b survived past capacity")
 	}
 	if _, ok := c.get("a"); !ok {
 		t.Error("recently-used a evicted before b")
 	}
-	if got := c.bytes(); got != 80 {
-		t.Errorf("cache holds %d bytes, want 80", got)
+	if got := c.bytes(); got != 2*429 {
+		t.Errorf("cache holds %d bytes, want %d", got, 2*429)
 	}
-	// Oversized bodies are refused rather than flushing the cache.
-	c.add(&cacheEntry{key: "huge", body: body(101)})
+	// Oversized entries are refused rather than flushing the cache:
+	// 900 body bytes + key + overhead exceeds the 1000-byte budget.
+	c.add(&cacheEntry{key: "huge", body: body(900)})
 	if _, ok := c.get("huge"); ok {
 		t.Error("over-capacity body cached")
 	}
@@ -161,11 +169,74 @@ func TestTileCacheEvictsByBytes(t *testing.T) {
 	}
 }
 
+// TestTileCacheChargesOverhead pins the byte-accounting rule: tiny
+// bodies cannot pack the cache beyond its budget because keys and
+// fixed per-entry overhead are charged too.
+func TestTileCacheChargesOverhead(t *testing.T) {
+	c := newTileCache(1<<10, 0)
+	for i := 0; i < 100; i++ {
+		c.add(&cacheEntry{key: strings.Repeat("k", 30) + string(rune('a'+i)), body: []byte{1}})
+	}
+	// Body-only accounting would keep all 100 (100 bytes); charged
+	// accounting fits at most 1024/160 = 6.
+	if got := c.len(); got > 6 {
+		t.Errorf("cache holds %d single-byte entries under a 1KiB budget; overhead not charged", got)
+	}
+	if got := c.bytes(); got > 1<<10 {
+		t.Errorf("cache charges %d bytes, budget %d", got, 1<<10)
+	}
+}
+
+func TestTileCachePinnedTier(t *testing.T) {
+	// Main tier fits two 429-byte entries, pinned tier fits two.
+	c := newTileCache(1000, 1000)
+	body := func(n int) []byte { return make([]byte, n) }
+	c.add(&cacheEntry{key: "p", body: body(300), pinned: true})
+	c.add(&cacheEntry{key: "q", body: body(300), pinned: true})
+	// A flood of unpinned tiles must not evict the pinned ones.
+	for _, k := range []string{"a", "b", "c", "d", "e"} {
+		c.add(&cacheEntry{key: k, body: body(300)})
+	}
+	for _, k := range []string{"p", "q"} {
+		if _, ok := c.get(k); !ok {
+			t.Errorf("pinned %q evicted by unpinned churn", k)
+		}
+	}
+	if got := c.pinnedLen(); got != 2 {
+		t.Errorf("pinned tier holds %d entries, want 2", got)
+	}
+	if got, want := c.pinnedBytes(), int64(2*429); got != want {
+		t.Errorf("pinned tier charges %d bytes, want %d", got, want)
+	}
+	// Pinned entries evict among themselves when their own budget fills.
+	c.add(&cacheEntry{key: "r", body: body(300), pinned: true})
+	if _, ok := c.get("p"); ok {
+		t.Error("pinned LRU did not evict its own oldest entry")
+	}
+	if _, ok := c.get("r"); !ok {
+		t.Error("new pinned entry missing")
+	}
+	// No pinned budget: pinned adds compete in the main tier instead of
+	// vanishing.
+	c2 := newTileCache(1000, 0)
+	c2.add(&cacheEntry{key: "p", body: body(300), pinned: true})
+	if _, ok := c2.get("p"); !ok {
+		t.Error("pinned add dropped when pinned tier is disabled")
+	}
+	if got := c2.pinnedLen(); got != 0 {
+		t.Errorf("disabled pinned tier holds %d entries", got)
+	}
+}
+
 func TestTileCacheDisabled(t *testing.T) {
-	c := newTileCache(-1)
+	c := newTileCache(-1, 1<<20)
 	c.add(&cacheEntry{key: "a", body: []byte{1}})
 	if _, ok := c.get("a"); ok {
 		t.Error("disabled cache stored an entry")
+	}
+	c.add(&cacheEntry{key: "p", body: []byte{1}, pinned: true})
+	if _, ok := c.get("p"); ok {
+		t.Error("disabled cache stored a pinned entry")
 	}
 }
 

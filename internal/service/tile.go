@@ -16,6 +16,8 @@ import (
 )
 
 // window is one requested tile: lattice lower corner and sample counts.
+// For pyramid requests the coordinates are in the level's own lattice
+// (level-z lattice point i sits at physical i·Dx·2^z).
 type window struct {
 	x0, y0 int64
 	nx, ny int
@@ -58,14 +60,59 @@ const (
 // cacheKey is the full identity of a tile response. precision is part
 // of the key because f32 and f64 renders of the same window differ in
 // bytes (within tolerance, but cached responses must be reproducible
-// bit-for-bit for their parameters).
-func cacheKey(sceneID string, seed uint64, w window, format, precision string) string {
-	return fmt.Sprintf("%s|%d|%d,%d,%dx%d|%s|%s", sceneID, seed, w.x0, w.y0, w.nx, w.ny, format, precision)
+// bit-for-bit for their parameters). level is part of the key because
+// the same window coordinates address different lattices per level;
+// level 0 keeps the pre-pyramid key shape so a warm cache stays valid
+// across the route addition.
+func cacheKey(sceneID string, level int, seed uint64, w window, format, precision string) string {
+	if level == 0 {
+		return fmt.Sprintf("%s|%d|%d,%d,%dx%d|%s|%s", sceneID, seed, w.x0, w.y0, w.nx, w.ny, format, precision)
+	}
+	return fmt.Sprintf("%s|z%d|%d|%d,%d,%dx%d|%s|%s", sceneID, level, seed, w.x0, w.y0, w.nx, w.ny, format, precision)
 }
 
-// handleTile is GET /v1/scene/{id}/tile/{win}. The fast path is a pure
-// cache read; misses pass admission control (bounded pool + queue,
-// shedding with 429) and render under the per-request deadline.
+// tileParams are the query-derived knobs shared by both tile routes.
+type tileParams struct {
+	seed      uint64
+	format    string
+	precision string
+}
+
+// parseTileParams resolves seed/format/precision from the query, with
+// scene defaults. Errors are client errors (400).
+func parseTileParams(r *http.Request, entry *sceneEntry) (tileParams, error) {
+	p := tileParams{seed: entry.Scene.Seed, format: formatF32}
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("seed %q: want an unsigned integer", v)
+		}
+		p.seed = seed
+	}
+	if v := q.Get("format"); v != "" {
+		if v != formatF32 && v != formatPNG {
+			return p, fmt.Errorf("format %q: want f32 or png", v)
+		}
+		p.format = v
+	}
+	p.precision = entry.Scene.Precision // normalized: "" means f64
+	if p.precision == "" {
+		p.precision = core.PrecisionF64
+	}
+	if v := q.Get("precision"); v != "" {
+		if v != core.PrecisionF32 && v != core.PrecisionF64 {
+			return p, fmt.Errorf("precision %q: want f32 or f64", v)
+		}
+		p.precision = v
+	}
+	return p, nil
+}
+
+// handleTile is GET /v1/scene/{id}/tile/{win} — the original
+// free-window route, kept as the level-0 alias of the pyramid: its
+// cache keys, response bytes, and scene IDs are unchanged by the
+// pyramid's existence.
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	entry, ok := s.reg.get(r.PathValue("id"))
 	if !ok {
@@ -84,36 +131,104 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 				win.nx, win.ny, s.cfg.MaxTileEdge, s.cfg.MaxTileSamples))
 		return
 	}
-	seed := entry.Scene.Seed
-	if q := r.URL.Query().Get("seed"); q != "" {
-		if seed, err = strconv.ParseUint(q, 10, 64); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed %q: want an unsigned integer", q))
-			return
-		}
+	p, err := parseTileParams(r, entry)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
 	}
-	format := formatF32
-	if q := r.URL.Query().Get("format"); q != "" {
-		if q != formatF32 && q != formatPNG {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("format %q: want f32 or png", q))
-			return
-		}
-		format = q
-	}
-	precision := entry.Scene.Precision // normalized: "" means f64
-	if precision == "" {
-		precision = core.PrecisionF64
-	}
-	if q := r.URL.Query().Get("precision"); q != "" {
-		if q != core.PrecisionF32 && q != core.PrecisionF64 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("precision %q: want f32 or f64", q))
-			return
-		}
-		precision = q
-	}
+	s.serveTile(w, r, entry, 0, win, p)
+}
 
-	key := cacheKey(entry.ID, seed, win, format, precision)
+// maxTileCoord bounds pyramid tile coordinates so x·TileEdge cannot
+// overflow int64 (TileEdge ≤ 4096 = 2^12, so products stay < 2^53).
+const maxTileCoord = int64(1) << 40
+
+// handleTileZ is GET /v1/scene/{id}/tile/{z}/{x},{y} — the pyramid
+// route. Tiles are fixed TileEdge×TileEdge windows on level z's
+// lattice: tile (x, y) covers level-z samples [x·E, (x+1)·E) ×
+// [y·E, (y+1)·E). z=0 renders the same surface bytes as the free-window
+// route; coarser z renders exactly at decimated spacing (DESIGN.md
+// §14). Responses carry Link: rel=prefetch hints for the four lattice
+// neighbors, and the daemon best-effort prefetches them in the
+// background.
+func (s *Server) handleTileZ(w http.ResponseWriter, r *http.Request) {
+	entry, ok := s.reg.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown scene id")
+		return
+	}
+	z, err := strconv.Atoi(r.PathValue("z"))
+	if err != nil || z < 0 || z > s.cfg.MaxLevel {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("level %q: want an integer in [0, %d]", r.PathValue("z"), s.cfg.MaxLevel))
+		return
+	}
+	x, y, err := parseTileXY(r.PathValue("xy"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, err := parseTileParams(r, entry)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	edge := s.cfg.TileEdge
+	win := window{x0: x * int64(edge), y0: y * int64(edge), nx: edge, ny: edge}
+	h := w.Header()
+	h.Set("X-RRS-Level", strconv.Itoa(z))
+	for _, nb := range neighborTiles(x, y) {
+		h.Add("Link", fmt.Sprintf("</v1/scene/%s/tile/%d/%d,%d?seed=%d&format=%s>; rel=prefetch",
+			entry.ID, z, nb[0], nb[1], p.seed, p.format))
+	}
+	s.serveTile(w, r, entry, z, win, p)
+	// Detached from the request: the hinted neighbors should keep
+	// warming even after this response is written and the client gone.
+	s.schedulePrefetch(context.WithoutCancel(r.Context()), entry, z, x, y, p)
+}
+
+// parseTileXY decodes the "{x},{y}" path segment of the pyramid route.
+func parseTileXY(s string) (x, y int64, err error) {
+	xs, ys, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("tile %q: want x,y", s)
+	}
+	if x, err = strconv.ParseInt(xs, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("tile x %q: not an integer", xs)
+	}
+	if y, err = strconv.ParseInt(ys, 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("tile y %q: not an integer", ys)
+	}
+	if x < -maxTileCoord || x > maxTileCoord || y < -maxTileCoord || y > maxTileCoord {
+		return 0, 0, fmt.Errorf("tile %d,%d: coordinates exceed ±2^40", x, y)
+	}
+	return x, y, nil
+}
+
+// neighborTiles lists the four lattice neighbors of tile (x, y), the
+// prefetch frontier of a panning client. Neighbors past the coordinate
+// bound are dropped.
+func neighborTiles(x, y int64) [][2]int64 {
+	all := [4][2]int64{{x - 1, y}, {x + 1, y}, {x, y - 1}, {x, y + 1}}
+	nbs := make([][2]int64, 0, 4)
+	for _, nb := range all {
+		if nb[0] < -maxTileCoord || nb[0] > maxTileCoord || nb[1] < -maxTileCoord || nb[1] > maxTileCoord {
+			continue
+		}
+		nbs = append(nbs, nb)
+	}
+	return nbs
+}
+
+// serveTile is the shared render-or-cache path behind both tile routes.
+// The fast path is a pure cache read; misses pass admission control
+// (bounded pool + queue, shedding with 429) and render under the
+// per-request deadline.
+func (s *Server) serveTile(w http.ResponseWriter, r *http.Request, entry *sceneEntry, level int, win window, p tileParams) {
+	key := cacheKey(entry.ID, level, p.seed, win, p.format, p.precision)
 	if e, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
+		s.met.levelHits[level].Add(1)
 		writeTile(w, e, win, "hit")
 		return
 	}
@@ -128,9 +243,9 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 			done <- tileResult{err: ctx.Err()}
 			return
 		}
-		res := s.renderTile(ctx, entry, seed, win, format, precision)
+		res := s.renderTile(ctx, entry, level, p.seed, win, p.format, p.precision)
 		if res.err == nil {
-			s.cache.add(&cacheEntry{key: key, body: res.body, ctype: res.ctype})
+			s.cache.add(&cacheEntry{key: key, body: res.body, ctype: res.ctype, pinned: s.pinLevel(level)})
 		}
 		done <- res
 	})
@@ -153,6 +268,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.met.cacheMisses.Add(1)
+		s.met.levelMisses[level].Add(1)
 		writeTile(w, &cacheEntry{body: res.body, ctype: res.ctype}, win, "miss")
 	case <-ctx.Done():
 		// The render (still running) will deliver into the buffered
@@ -164,20 +280,73 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// pinLevel reports whether tiles at this level land in the pinned
+// cache tier: levels ≥ PinLevel are coarse, tiny relative to the area
+// they cover, and reheated by every zoom-out, so they get a budget the
+// level-0 flood cannot evict.
+func (s *Server) pinLevel(level int) bool {
+	return s.cfg.PinLevel >= 0 && level >= s.cfg.PinLevel
+}
+
+// schedulePrefetch enqueues best-effort renders of the four lattice
+// neighbors of the tile just served. Strictly subordinate to
+// foreground traffic: jobs ride a separate one-worker pool whose
+// TrySubmit sheds when its small queue is full, and a job that starts
+// while the foreground render queue is non-empty gives up immediately
+// rather than steal CPU from it. Dropped or skipped prefetches are
+// never retried — the client's own request will render the tile and
+// populate the same cache.
+func (s *Server) schedulePrefetch(ctx context.Context, entry *sceneEntry, z int, x, y int64, p tileParams) {
+	if s.prefetch == nil {
+		return
+	}
+	edge := s.cfg.TileEdge
+	for _, nb := range neighborTiles(x, y) {
+		win := window{x0: nb[0] * int64(edge), y0: nb[1] * int64(edge), nx: edge, ny: edge}
+		key := cacheKey(entry.ID, z, p.seed, win, p.format, p.precision)
+		if s.cache.contains(key) {
+			continue
+		}
+		accepted := s.prefetch.TrySubmit(func() {
+			if s.pool.QueueDepth() > 0 {
+				// Foreground renders are waiting for workers; a prefetch
+				// now would delay a request someone is blocked on.
+				s.met.prefetchSkipped.Add(1)
+				return
+			}
+			if s.cache.contains(key) {
+				return
+			}
+			pctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+			res := s.renderTile(pctx, entry, z, p.seed, win, p.format, p.precision)
+			if res.err != nil {
+				return // best effort: the foreground path will report real errors
+			}
+			s.cache.add(&cacheEntry{key: key, body: res.body, ctype: res.ctype, pinned: s.pinLevel(z)})
+			s.met.prefetchRendered.Add(1)
+		})
+		if !accepted {
+			s.met.prefetchDropped.Add(1)
+		}
+	}
+}
+
 type tileResult struct {
 	body  []byte
 	ctype string
 	err   error
 }
 
-// renderTile generates and encodes one tile. Runs on a pool worker;
-// ctx carries the request deadline across the submit boundary. At f32
-// precision the surface renders through the single-precision SIMD
-// pipeline (half the working set, vectorized MAC kernels) and the f32
-// wire format is emitted without a float64 round trip; PNG tiles widen
-// the rendered samples for the shared colormapper.
-func (s *Server) renderTile(ctx context.Context, entry *sceneEntry, seed uint64, win window, format, precision string) tileResult {
-	gen, err := entry.generator(ctx, seed)
+// renderTile generates and encodes one tile of pyramid level `level`.
+// Runs on a pool worker; ctx carries the request deadline across the
+// submit boundary. At f32 precision the surface renders through the
+// single-precision SIMD pipeline (half the working set, vectorized MAC
+// kernels) and the f32 wire format is emitted without a float64 round
+// trip; PNG tiles widen the rendered samples for the shared
+// colormapper.
+func (s *Server) renderTile(ctx context.Context, entry *sceneEntry, level int, seed uint64, win window, format, precision string) tileResult {
+	gen, err := entry.generator(ctx, level, seed)
 	if err != nil {
 		return tileResult{err: err}
 	}

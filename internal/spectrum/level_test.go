@@ -1,0 +1,57 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+
+	"roughsurface/internal/fft"
+)
+
+// TestWeightDFTMatchesAutocorrelationPerLevel repeats the paper's §2.2
+// accuracy check (experiment E5) at every spacing the tile pyramid
+// renders: the DFT of the weighting array built for spacing dx·2^z must
+// reproduce the analytic autocorrelation sampled at the decimated lags.
+// This is the property that makes coarse pyramid levels *exact* — the
+// weights are re-derived from the spectrum at the coarse spacing, not
+// low-pass filtered from fine samples (DESIGN.md §14).
+//
+// Tolerances loosen with z: the spectral tail beyond the coarser
+// Nyquist π/(dx·2^z) folds back as aliasing, which for the smooth
+// gaussian family stays tiny through z=2 and reaches the percent range
+// at z=3 (cl = 8 samples at level 0 is only one sample at level 3); the
+// heavy-tailed exponential family starts at ~6% even at z=0.
+func TestWeightDFTMatchesAutocorrelationPerLevel(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Spectrum
+		tol  [4]float64 // relative RMSE per level z=0..3
+	}{
+		{"gaussian", MustGaussian(1.3, 8, 8), [4]float64{1e-8, 1e-8, 1e-4, 0.05}},
+		{"exponential", MustExponential(1.2, 8, 8), [4]float64{0.08, 0.12, 0.18, 0.25}},
+	}
+	const n = 128
+	p := fft.MustPlan2D(n, n)
+	for _, c := range cases {
+		h2 := c.s.SigmaH() * c.s.SigmaH()
+		for z := 0; z <= 3; z++ {
+			dx := float64(int(1) << z)
+			w := Weights(c.s, n, n, float64(n)*dx, float64(n)*dx)
+			work := make([]complex128, n*n)
+			for i, v := range w.Data {
+				work[i] = complex(v, 0)
+			}
+			p.InverseUnscaled(work) // Σ_m w·e^{+j...} = NxNy·IDFT(w)
+			want := AutocorrelationGrid(c.s, n, n, dx, dx)
+			rmse := 0.0
+			for i, v := range work {
+				d := real(v) - want.Data[i]
+				rmse += d * d
+			}
+			rmse = math.Sqrt(rmse/float64(n*n)) / h2
+			if rmse > c.tol[z] {
+				t.Errorf("%s z=%d (dx=%g): DFT(w) vs ρ relative RMSE %g > %g",
+					c.name, z, dx, rmse, c.tol[z])
+			}
+		}
+	}
+}

@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-ConvVsDFT|Streaming|Autocovariance|Profile1D|WeightArray|KernelTruncation|SamplerAblation|Inhomo}"
+BENCH="${BENCH:-ConvVsDFT|Streaming|Autocovariance|Profile1D|WeightArray|KernelTruncation|SamplerAblation|Inhomo|ZoomWalk}"
 BENCHTIME="${BENCHTIME:-500ms}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_$(date +%Y-%m-%d).json}"
@@ -30,6 +30,16 @@ echo "bench.sh: wrote $OUT"
 if [[ -n "$BASELINE" ]]; then
     echo "bench.sh: comparing against $BASELINE"
     go run ./cmd/rrsbench compare "$BASELINE" "$OUT"
+fi
+
+# Pyramid gate: when the run captured both ZoomWalk arms, a self-compare
+# with -map proves the pyramid serves the zoom trajectory in well under
+# 40% of the render-everything-at-level-0 time (tolerance -0.6 demands a
+# >=60% mean ns/op improvement pyramid vs level0).
+if grep -q 'ZoomWalk/pyramid' "$OUT" && grep -q 'ZoomWalk/level0' "$OUT"; then
+    echo "bench.sh: pyramid zoom-walk gate (pyramid must beat level0 by >=60%)"
+    go run ./cmd/rrsbench compare -map 'ZoomWalk/level0=>ZoomWalk/pyramid' \
+        -tolerance -0.6 "$OUT" "$OUT"
 fi
 
 # Service-level smoke: a short closed-loop rrsload run against a local
@@ -51,6 +61,9 @@ if [[ "$LOAD_SECS" != "0" ]]; then
     done
     go run ./cmd/rrsload -url "http://$(cat "$LOAD_DIR/port")" \
         -duration "${LOAD_SECS}s" -qps "$LOAD_QPS" -c 4 -sizes 64x64,128x128
+    echo "bench.sh: rrsload zoom-walk trajectory (${LOAD_SECS}s @ ${LOAD_QPS} req/s, zmax 3)"
+    go run ./cmd/rrsload -url "http://$(cat "$LOAD_DIR/port")" \
+        -duration "${LOAD_SECS}s" -qps "$LOAD_QPS" -c 4 -walk zoom -zmax 3
     kill -TERM "$RRSD_PID"
     wait "$RRSD_PID"
     rm -rf "$LOAD_DIR"

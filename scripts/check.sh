@@ -116,12 +116,15 @@ step_end
 # SHA-256 is pinned on amd64 (the CI architecture); elsewhere FP/FMA
 # differences may legally change the low bits, so we fall back to a
 # determinism check (two fetches, one cold one cached, must agree).
-# Finally SIGTERM must drain and exit 0 within the deadline.
-step_begin "rrsd smoke (healthz, golden tile, graceful shutdown)"
+# The pyramid route is exercised at z=0 (which must alias the golden
+# free-window tile byte-for-byte, via the shared cache entry) and z=2,
+# and /metrics must expose the per-level hit/miss counters. Finally
+# SIGTERM must drain and exit 0 within the deadline.
+step_begin "rrsd smoke (healthz, golden tile, pyramid route, graceful shutdown)"
 GOLDEN_TILE_SHA256="c489266437db4399309159e8e96ed6998423d7d28d5740b2ce569abeb6c36688"
 SMOKE_DIR="$(mktemp -d)"
 go build -o "$SMOKE_DIR/rrsd" ./cmd/rrsd
-"$SMOKE_DIR/rrsd" -addr 127.0.0.1:0 -portfile "$SMOKE_DIR/port" -q &
+"$SMOKE_DIR/rrsd" -addr 127.0.0.1:0 -portfile "$SMOKE_DIR/port" -tile-edge 64 -q &
 RRSD_PID=$!
 for _ in $(seq 1 100); do
     [[ -s "$SMOKE_DIR/port" ]] && break
@@ -144,6 +147,22 @@ else
     cmp "$SMOKE_DIR/tile.f32" "$SMOKE_DIR/tile2.f32"
 fi
 curl -sf "http://$RRSD_ADDR/metrics" | grep -q 'rrsd_requests_total{route="tile",code="200"} 1'
+# Pyramid route: tile 0/0,0 at -tile-edge 64 covers the same lattice
+# window as the golden fetch above, so it must be served from the shared
+# cache entry (X-Cache: hit) with identical bytes.
+curl -sf -D "$SMOKE_DIR/z0.hdr" \
+    "http://$RRSD_ADDR/v1/scene/$SCENE_ID/tile/0/0,0?seed=1&format=f32" \
+    -o "$SMOKE_DIR/z0.f32"
+cmp "$SMOKE_DIR/tile.f32" "$SMOKE_DIR/z0.f32"
+grep -qi '^X-Cache: hit' "$SMOKE_DIR/z0.hdr"
+# A z=2 tile renders the decimated lattice: same byte size, new kernel.
+curl -sf "http://$RRSD_ADDR/v1/scene/$SCENE_ID/tile/2/0,0?seed=1&format=f32" \
+    -o "$SMOKE_DIR/z2.f32"
+[[ "$(wc -c < "$SMOKE_DIR/z2.f32")" == "16384" ]] \
+    || { echo "z=2 tile is $(wc -c < "$SMOKE_DIR/z2.f32") bytes, want 16384" >&2; exit 1; }
+METRICS="$(curl -sf "http://$RRSD_ADDR/metrics")"
+grep -q 'rrsd_tile_level_hits_total{level="0"}' <<<"$METRICS"
+grep -q 'rrsd_tile_level_misses_total{level="2"} 1' <<<"$METRICS"
 kill -TERM "$RRSD_PID"
 SHUTDOWN_OK=0
 for _ in $(seq 1 100); do
