@@ -20,6 +20,7 @@ func TestListChecks(t *testing.T) {
 		"floatcmp", "parpolicy", "seedrand", "errdrop", "mapordered",
 		"poolbalance", "retainescape", "goleak",
 		"lockbalance", "ctxflow", "httpwrite",
+		"detflow", "floatreduce",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("-list output missing %q:\n%s", want, out.String())
@@ -70,7 +71,7 @@ func decodeJSON(t *testing.T, data []byte, wantChecks int) jsonOutput {
 }
 
 // TestRepoIsLintClean is the gate the rest of the PR maintains: the
-// module's own tree must produce zero findings under all 11 checks.
+// module's own tree must produce zero findings under all 13 checks.
 func TestRepoIsLintClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module")
@@ -88,7 +89,7 @@ func TestRepoIsLintClean(t *testing.T) {
 		t.Fatalf("rrslint exit %d on own tree\nstdout: %s\nstderr: %s",
 			code, out.String(), errb.String())
 	}
-	res := decodeJSON(t, out.Bytes(), 11)
+	res := decodeJSON(t, out.Bytes(), 13)
 	if len(res.Findings) != 0 {
 		t.Errorf("own tree has %d findings", len(res.Findings))
 	}
@@ -222,7 +223,7 @@ func TestSelfCheckExcludesTestdata(t *testing.T) {
 		t.Fatalf("exit %d on internal/lint\nstdout: %s\nstderr: %s",
 			code, out.String(), errb.String())
 	}
-	res := decodeJSON(t, out.Bytes(), 11)
+	res := decodeJSON(t, out.Bytes(), 13)
 	if len(res.Findings) != 0 {
 		t.Errorf("internal/lint has %d findings (testdata leaking in?): %v", len(res.Findings), res.Findings)
 	}
@@ -303,8 +304,19 @@ func TestSARIFOutput(t *testing.T) {
 		t.Fatalf("envelope: version %q, %d runs", log.Version, len(log.Runs))
 	}
 	r := log.Runs[0]
-	if r.Tool.Driver.Name != "rrslint" || len(r.Tool.Driver.Rules) != 11 {
-		t.Errorf("driver: name %q, %d rules (want rrslint, 11)", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+	if r.Tool.Driver.Name != "rrslint" || len(r.Tool.Driver.Rules) != 13 {
+		t.Errorf("driver: name %q, %d rules (want rrslint, 13)", r.Tool.Driver.Name, len(r.Tool.Driver.Rules))
+	}
+	// The determinism-taint rules must be in the SARIF rule table even
+	// when the run selects other checks: code scanning keys on rule IDs.
+	haveRule := map[string]bool{}
+	for _, rule := range r.Tool.Driver.Rules {
+		haveRule[rule.ID] = true
+	}
+	for _, id := range []string{"detflow", "floatreduce"} {
+		if !haveRule[id] {
+			t.Errorf("SARIF rule table missing %q", id)
+		}
 	}
 	if len(r.Results) != 3 {
 		t.Fatalf("results: got %d, want 3", len(r.Results))
@@ -327,7 +339,7 @@ func TestChecksExcludeFlag(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb.String())
 	}
-	res := decodeJSON(t, out.Bytes(), 9)
+	res := decodeJSON(t, out.Bytes(), 11)
 	for _, d := range res.Findings {
 		if d.Check == "poolbalance" || d.Check == "floatcmp" {
 			t.Errorf("excluded check still reported: %v", d)

@@ -38,7 +38,7 @@ func runCtxflow(p *pass) {
 				if !ok {
 					return true
 				}
-				if name, ok := contextRootCall(p, call); ok {
+				if name, ok := pkgCallName(p, call, "context", "Background", "TODO"); ok {
 					p.reportf(call.Pos(), "ctxflow",
 						"context.%s() while a context parameter is in scope; derive from it (context.WithoutCancel for detached work)",
 						name)
@@ -69,23 +69,4 @@ func runCtxflow(p *pass) {
 				n.name(), sum.blockWhy)
 		}
 	}
-}
-
-// contextRootCall matches context.Background() / context.TODO(), via
-// types when available and textually otherwise.
-func contextRootCall(p *pass, call *ast.CallExpr) (string, bool) {
-	if pkg, name, ok := pkgFuncName(p, call); ok {
-		if pkg == "context" && (name == "Background" || name == "TODO") {
-			return name, true
-		}
-		return "", false
-	}
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
-		return "", false
-	}
-	if id, ok := sel.X.(*ast.Ident); ok && id.Name == "context" && p.unit.Info == nil {
-		return sel.Sel.Name, true
-	}
-	return "", false
 }

@@ -1,0 +1,35 @@
+package lint
+
+// detflow: interprocedural determinism-taint analysis. Everything the
+// repo promises — content-addressed scene IDs, golden tile SHAs,
+// seed-for-seed bit-identical noise — is a claim that certain values
+// are pure functions of (scene, seed, window). This pass checks that
+// claim statically: nondeterminism sources (map iteration order,
+// time.Now, global math/rand, os.Environ, %p, select branch choice,
+// unjoined-goroutine write order) are taint-tracked through
+// assignments, returns and call edges (taint.go) into determinism
+// sinks: hash inputs, canonical JSON/binary encoding, internal/rng
+// seeding, tile encoding, grid sample buffers, and cache-key/ID
+// construction.
+//
+// The analysis is summary-based and bottom-up: a function's taint
+// summary says which results carry a source and which parameters flow
+// to them (so taint survives a return through three helpers), and its
+// sink summary says which parameters reach a sink inside (so a tainted
+// argument is flagged at the call site, where the fix belongs).
+// sort.*/slices.* calls sanitize, values drawn from internal/rng are
+// deterministic by the repo's own contract, and deliberate
+// nondeterminism is silenced with //lint:ignore detflow <reason>.
+
+func runDetflow(p *pass) {
+	s := p.summaries()
+	for _, n := range s.graph.nodes { // declaration order, not map order
+		env := s.taintEnvs[n]
+		if env == nil {
+			continue
+		}
+		for _, f := range env.findings {
+			p.reportf(f.pos, "detflow", "%s", f.msg)
+		}
+	}
+}

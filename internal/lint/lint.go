@@ -28,6 +28,17 @@
 //	httpwrite    — every handler path writes exactly one status and
 //	               no body after an error
 //
+// Two more track determinism, the property every golden SHA and
+// content-addressed ID in this repo rests on, over the same summary
+// substrate (taint.go):
+//
+//	detflow      — nondeterminism sources (map order, time, global
+//	               rand, env, %p, select choice, goroutine write
+//	               order) never flow into hashes, cache keys, rng
+//	               seeds, sample buffers, or encoded artifacts
+//	floatreduce  — no floating-point accumulation whose summation
+//	               order depends on worker count or scheduling
+//
 // Any single finding can be silenced in source with a justification:
 //
 //	//lint:ignore <check>[,<check>...] <reason>
@@ -87,6 +98,8 @@ var allChecks = []check{
 	{"lockbalance", "mutex left locked on some path, blocked on, or re-acquired through a callee", runLockbalance},
 	{"ctxflow", "request-path blocking without an accepted and threaded context.Context", runCtxflow},
 	{"httpwrite", "handler path with zero, double, or post-error HTTP status/body writes", runHttpwrite},
+	{"detflow", "nondeterministic value flowing into a hash, key, seed, or encoded artifact", runDetflow},
+	{"floatreduce", "floating-point accumulation whose summation order depends on scheduling", runFloatreduce},
 }
 
 // CheckNames lists every registered check with its one-line doc.

@@ -49,7 +49,14 @@ func TestChecks(t *testing.T) {
 			"parpolicy/parpolicy.go:11 parpolicy",
 		}},
 		{"seedrand", "seedrand", []string{
-			"seedrand/seedrand.go:4 seedrand",
+			"seedrand/seedrand.go:7 seedrand",  // import outside internal/rng
+			"seedrand/seedrand.go:17 seedrand", // NewSource(time.Now...)
+			"seedrand/seedrand.go:22 seedrand", // Seed(time.Now...)
+		}},
+		// The exempt package: no import finding, but wall-clock seeding
+		// is flagged even here.
+		{"internal/rng", "seedrand", []string{
+			"internal/rng/rng.go:19 seedrand",
 		}},
 		{"errdrop", "errdrop", []string{
 			"errdrop/errdrop.go:12 errdrop",
@@ -94,6 +101,22 @@ func TestChecks(t *testing.T) {
 			"httpwrite/httpwrite.go:38 httpwrite", // double status via two helpers (needs summaries)
 			"httpwrite/httpwrite.go:46 httpwrite", // body after error status
 		}},
+		{"detflow", "detflow", []string{
+			"detflow/detflow.go:30 detflow",  // map iteration order into a hash
+			"detflow/detflow.go:41 detflow",  // time.Now through a callee's return
+			"detflow/detflow.go:48 detflow",  // os.Getenv into key construction
+			"detflow/detflow.go:59 detflow",  // %p into rng seeding
+			"detflow/detflow.go:72 detflow",  // select branch choice into JSON
+			"detflow/detflow.go:88 detflow",  // hash inside a callee (needs sinkParams)
+			"detflow/detflow.go:105 detflow", // goroutine write order into a hash
+		}},
+		{"floatreduce", "floatreduce", []string{
+			"floatreduce/floatreduce.go:19 floatreduce", // captured += under par.Dynamic
+			"floatreduce/floatreduce.go:30 floatreduce", // x = x + e under a raw goroutine
+			"floatreduce/floatreduce.go:52 floatreduce", // &acc through addTo (needs accum summary)
+			"floatreduce/floatreduce.go:65 floatreduce", // named task accumulating a global
+			"floatreduce/floatreduce.go:71 floatreduce", // global reached through a callee
+		}},
 		// parpolicy's fixture joins every goroutine through wg.Wait, so
 		// the CFG pass must stay quiet on it even though parpolicy fires.
 		{"parpolicy", "goleak", nil},
@@ -106,6 +129,16 @@ func TestChecks(t *testing.T) {
 		{"lockbalance", "httpwrite", nil},
 		{"httpwrite", "lockbalance", nil},
 		{"ctxflow", "lockbalance", nil},
+		// The taint fixtures must not trip each other: detflow's joined
+		// goroutines write strings (no float accumulation), and
+		// floatreduce's accumulators never reach a sink. Neither trips
+		// goleak (every launch joins), and detflow's collect-then-sort
+		// negative stays invisible to mapordered.
+		{"detflow", "floatreduce", nil},
+		{"floatreduce", "detflow", nil},
+		{"detflow", "goleak", nil},
+		{"floatreduce", "goleak", nil},
+		{"detflow", "mapordered", nil},
 		{"ignore", "floatcmp", []string{
 			"ignore/ignore.go:16 floatcmp",
 			"ignore/ignore.go:20 directive",
@@ -125,6 +158,8 @@ func TestChecks(t *testing.T) {
 		{"clean", "lockbalance", nil},
 		{"clean", "ctxflow", nil},
 		{"clean", "httpwrite", nil},
+		{"clean", "detflow", nil},
+		{"clean", "floatreduce", nil},
 	}
 	for _, tc := range tests {
 		t.Run(tc.dir+"/"+tc.check, func(t *testing.T) {
@@ -157,9 +192,9 @@ func TestAllChecksOnFixtureTree(t *testing.T) {
 		perCheck[d.Check]++
 	}
 	want := map[string]int{
-		"floatcmp":     7, // 5 in floatcmp fixture + 2 unsilenced in ignore fixture
-		"parpolicy":    8, // 2 in parpolicy fixture + 6 raw goroutines/WaitGroup in goleak fixture
-		"seedrand":     1,
+		"floatcmp":     7,  // 5 in floatcmp fixture + 2 unsilenced in ignore fixture
+		"parpolicy":    10, // 2 in parpolicy fixture + 6 in goleak + 1 each in detflow/floatreduce
+		"seedrand":     4,  // import + 2 time seeds in seedrand fixture, 1 time seed in internal/rng
 		"errdrop":      4,
 		"mapordered":   2,
 		"directive":    1,
@@ -169,14 +204,16 @@ func TestAllChecksOnFixtureTree(t *testing.T) {
 		"lockbalance":  5,
 		"ctxflow":      4,
 		"httpwrite":    3,
+		"detflow":      7,
+		"floatreduce":  5,
 	}
 	for check, n := range want {
 		if perCheck[check] != n {
 			t.Errorf("check %s: got %d findings, want %d (all: %v)", check, perCheck[check], n, diags)
 		}
 	}
-	if len(diags) != 44 {
-		t.Errorf("total findings: got %d, want 44: %v", len(diags), diags)
+	if len(diags) != 61 {
+		t.Errorf("total findings: got %d, want 61: %v", len(diags), diags)
 	}
 }
 
@@ -208,8 +245,8 @@ func TestDiagnosticJSON(t *testing.T) {
 // TestCheckNames pins the registered suite.
 func TestCheckNames(t *testing.T) {
 	names := lint.CheckNames()
-	if len(names) != 11 {
-		t.Fatalf("got %d checks, want 11: %v", len(names), names)
+	if len(names) != 13 {
+		t.Fatalf("got %d checks, want 13: %v", len(names), names)
 	}
 }
 
@@ -267,8 +304,8 @@ func TestRunTimed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Timing) != 11 {
-		t.Fatalf("got %d timing entries, want 11: %v", len(res.Timing), res.Timing)
+	if len(res.Timing) != 13 {
+		t.Fatalf("got %d timing entries, want 13: %v", len(res.Timing), res.Timing)
 	}
 	for i, ct := range res.Timing {
 		if ct.Millis < 0 {

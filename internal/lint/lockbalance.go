@@ -173,6 +173,7 @@ func (p *pass) scanHeld(s *summaries, c *cfg, start *block, startIdx int, key st
 				if callee := s.graph.calleeOf(p.unit, call); callee != nil {
 					if cs := s.by[callee]; cs != nil {
 						for acqKey := range cs.acquires {
+							//lint:ignore detflow lock-key translation order is irrelevant: every match reports the same held key
 							if tk, ok := translateKey(p, acqKey, call, recv); ok && tk == heldCanon {
 								p.reportf(call.Pos(), "lockbalance",
 									"call to %s re-acquires %s, held since line %d; deadlock",

@@ -79,6 +79,20 @@ type funcSummary struct {
 	ctxUsed bool
 
 	rws []rwSummary
+
+	// Determinism-taint bits (taint.go): per-result taint the caller
+	// inherits, and the parameters that reach a determinism sink
+	// inside (transitively) — how detflow sees through helpers.
+	taintRets  []*taintVal
+	sinkParams map[int]sinkRef
+
+	// Float-accumulation bits (floatreduce.go): pointer-to-float
+	// parameters the function accumulates into, and package-level
+	// float variables it accumulates into (transitively through
+	// same-unit callees). Harmless serially; findings only when such
+	// a function runs as a parallel task.
+	accumPtr    map[int]token.Pos
+	accumGlobal map[string]token.Pos
 }
 
 // summaries is the per-unit interprocedural state, built lazily by the
@@ -88,6 +102,9 @@ type summaries struct {
 	graph *callGraph
 	by    map[*funcNode]*funcSummary
 	cfgs  map[*funcNode]*cfg
+	// taintEnvs holds each function's final taint environment, built
+	// alongside the summaries (taint.go) and consumed by detflow.
+	taintEnvs map[*funcNode]*taintEnv
 	// nonBlockingComm marks channel operations that sit in the comm
 	// clause of a select with a default clause: they are polls, not
 	// blocking points.
@@ -108,6 +125,7 @@ func buildSummaries(p *pass) *summaries {
 		graph:           buildCallGraph(p.unit),
 		by:              map[*funcNode]*funcSummary{},
 		cfgs:            map[*funcNode]*cfg{},
+		taintEnvs:       map[*funcNode]*taintEnv{},
 		nonBlockingComm: map[ast.Node]bool{},
 	}
 	for _, f := range p.unit.Files {
@@ -129,6 +147,17 @@ func buildSummaries(p *pass) *summaries {
 		}
 		for _, n := range comp {
 			s.by[n].rws = s.statusSummaries(n)
+		}
+		// Second fixpoint per component: taint return/sink summaries
+		// (taint.go) depend on callee taint summaries, which for
+		// recursive components grow as this loop iterates.
+		for changed := true; changed; {
+			changed = false
+			for _, n := range comp {
+				if s.computeTaint(n) {
+					changed = true
+				}
+			}
 		}
 	}
 	return s
@@ -193,7 +222,12 @@ func markNonBlockingComms(f *ast.File, out map[ast.Node]bool) {
 
 // seedSummary computes a function's direct (non-transitive) effects.
 func (s *summaries) seedSummary(n *funcNode) *funcSummary {
-	sum := &funcSummary{node: n, acquires: map[string]int{}}
+	sum := &funcSummary{
+		node:        n,
+		acquires:    map[string]int{},
+		accumPtr:    map[int]token.Pos{},
+		accumGlobal: map[string]token.Pos{},
+	}
 	s.seedCtx(n, sum)
 	recv := recvName(n.decl)
 
@@ -201,6 +235,8 @@ func (s *summaries) seedSummary(n *funcNode) *funcSummary {
 	// frame, other function literals are not.
 	s.eachFrameNode(n.decl.Body, func(m ast.Node) {
 		switch m := m.(type) {
+		case *ast.AssignStmt:
+			s.seedAccum(n, sum, m)
 		case *ast.SendStmt:
 			if !s.nonBlockingComm[m] {
 				sum.noteBlock(m.Pos(), "channel send")
@@ -252,12 +288,22 @@ func (s *summaries) joinCallees(n *funcNode) bool {
 			changed = true
 		}
 		for key, kind := range cs.acquires {
+			//lint:ignore detflow lock-key joins are commutative: iteration order cannot change the summary
 			ck, ok := translateKey(s.p, key, e.call, recv)
 			if !ok {
 				continue
 			}
 			if sum.acquires[ck]&kind != kind {
 				sum.acquires[ck] |= kind
+				changed = true
+			}
+		}
+		// A caller of a package-level accumulator is itself one: the
+		// same global gets a scheduling-ordered term if the caller is
+		// ever launched as a task.
+		for key, pos := range cs.accumGlobal {
+			if _, ok := sum.accumGlobal[key]; !ok {
+				sum.accumGlobal[key] = pos
 				changed = true
 			}
 		}

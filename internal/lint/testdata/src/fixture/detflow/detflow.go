@@ -1,0 +1,133 @@
+// Package detflow is a lint fixture: nondeterminism sources flowing
+// into determinism sinks. Violations: map iteration order concatenated
+// into a hash input, a wall-clock value hashed through a helper's
+// return, os.Getenv into cache-key construction, pointer formatting
+// into rng seeding, a select-branch-dependent value into canonical
+// JSON, a tainted argument reaching a hash inside a callee, and
+// goroutine write order hashed after the join. Negatives: sorted keys,
+// rng-drawn values, and map sizes stay deterministic.
+package detflow
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"fixture/detflow/internal/rng"
+)
+
+// mapOrderHash concatenates keys in map order and hashes the result.
+func mapOrderHash(m map[string]int) [32]byte {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return sha256.Sum256([]byte(s)) // want detflow (map iteration order)
+}
+
+// stamp returns a wall-clock string; the taint rides its return value.
+func stamp() string {
+	return time.Now().String()
+}
+
+// timeHash hashes a time-derived value obtained through a callee.
+func timeHash() []byte {
+	h := sha256.New()
+	h.Write([]byte(stamp())) // want detflow (time, through a return)
+	return h.Sum(nil)
+}
+
+// envKey builds a cache key from the process environment.
+func envKey() string {
+	host := os.Getenv("RRS_HOST")
+	return cacheKey(host) // want detflow (env into key construction)
+}
+
+// cacheKey is a key constructor by naming convention.
+func cacheKey(part string) string {
+	return "tile|" + part
+}
+
+// ptrSeed seeds the module rng from a formatted pointer address.
+func ptrSeed(cfg *Stream) *rng.Stream {
+	id := fmt.Sprintf("%p", cfg)
+	return rng.New(id) // want detflow (%p into rng seeding)
+}
+
+// Stream gives ptrSeed something addressable to format.
+type Stream struct{ n int }
+
+// selectJSON encodes whichever channel answered first.
+func selectJSON(a, b chan int) []byte {
+	var picked int
+	select {
+	case picked = <-a:
+	case picked = <-b:
+	}
+	out, _ := json.Marshal(picked) // want detflow (select branch choice)
+	return out
+}
+
+// digest hashes its argument: callers with tainted inputs are flagged
+// at the call site via the sinkParams summary.
+func digest(b []byte) [32]byte {
+	return sha256.Sum256(b)
+}
+
+// viaHelper reaches the hash one call deep.
+func viaHelper(m map[int]int) [32]byte {
+	s := ""
+	for _, v := range m {
+		s += strconv.Itoa(v)
+	}
+	return digest([]byte(s)) // want detflow (sink inside callee)
+}
+
+// goWriteHash hashes a value whose final content depends on which
+// goroutine wrote last, even though the join itself is sound.
+func goWriteHash() [32]byte {
+	last := ""
+	done := make(chan struct{}, 4)
+	for i := 0; i < 4; i++ {
+		go func(n int) {
+			last = strconv.Itoa(n)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	return sha256.Sum256([]byte(last)) // want detflow (goroutine write order)
+}
+
+// sortedHash is clean: sorting the keys removes the iteration-order
+// dependence before the hash sees them.
+func sortedHash(m map[string]int) [32]byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return sha256.Sum256([]byte(strings.Join(keys, ",")))
+}
+
+// seededKey is clean: rng draws are deterministic by contract.
+func seededKey(s *rng.Stream) string {
+	return cacheKey(strconv.FormatUint(s.Next(), 16))
+}
+
+// sizeKey is clean: a map's length does not depend on iteration order.
+func sizeKey(m map[string]int) string {
+	return cacheKey(strconv.Itoa(len(m)))
+}
+
+// ignored documents a deliberately wall-clock-stamped debug key.
+func ignored() string {
+	//lint:ignore detflow debug key is intentionally unique per run
+	return cacheKey(stamp())
+}

@@ -1,0 +1,22 @@
+// Package rng is the detflow fixture's stand-in for the module's
+// seeded generator package: calls into it are rng-seeding sinks, and
+// values drawn from it are deterministic by contract.
+package rng
+
+// Stream is a deterministic seeded stream.
+type Stream struct{ state uint64 }
+
+// New derives a stream from a key.
+func New(key string) *Stream {
+	s := &Stream{state: 1}
+	for i := 0; i < len(key); i++ {
+		s.state = s.state*31 + uint64(key[i])
+	}
+	return s
+}
+
+// Next advances the stream.
+func (s *Stream) Next() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}

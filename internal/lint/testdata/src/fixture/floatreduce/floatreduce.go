@@ -1,0 +1,131 @@
+// Package floatreduce is a lint fixture: floating-point accumulation
+// whose summation order depends on scheduling. Violations: a captured
+// scalar accumulated from a par task, the x = x + e spelling under a
+// raw goroutine, a pointer-to-accumulator helper called from a task, a
+// named task function that accumulates a package-level total, and a
+// literal task reaching that global through a callee. Negatives:
+// per-index writes, task-local accumulators with an indexed merge, the
+// same helper called serially, and integer counters.
+package floatreduce
+
+import "fixture/floatreduce/par"
+
+var gTotal float64
+
+// capturedScalar accumulates into a captured scalar from tasks.
+func capturedScalar(v []float64) float64 {
+	sum := 0.0
+	par.Dynamic(len(v), 4, func(i int) {
+		sum += v[i] // want floatreduce (captured +=)
+	})
+	return sum
+}
+
+// goAccum uses the x = x + e spelling under raw goroutines.
+func goAccum(xs []float64) float64 {
+	total := 0.0
+	done := make(chan struct{}, len(xs))
+	for _, x := range xs {
+		go func() {
+			total = total + x // want floatreduce (x = x + e)
+			done <- struct{}{}
+		}()
+	}
+	for range xs {
+		<-done
+	}
+	return total
+}
+
+// addTo is the pointer-to-accumulator helper; flagged only at task
+// call sites, via its summary.
+func addTo(p *float64, v float64) {
+	*p += v
+}
+
+// viaPointerHelper hands a captured accumulator's address to addTo
+// from inside a task.
+func viaPointerHelper(v []float64) float64 {
+	acc := 0.0
+	par.For(len(v), 2, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			addTo(&acc, v[i]) // want floatreduce (accumulator via pointer)
+		}
+	})
+	return acc
+}
+
+// bump accumulates a package-level total.
+func bump(i int) {
+	gTotal += float64(i)
+}
+
+// namedLaunch hands bump itself to the launcher.
+func namedLaunch(n int) {
+	par.Dynamic(n, 2, bump) // want floatreduce (named task, global +=)
+}
+
+// globalFromLit reaches the global accumulator through a callee.
+func globalFromLit(n int) {
+	par.ForEach(n, 2, func(i int) {
+		bump(i) // want floatreduce (callee accumulates global)
+	})
+}
+
+// perIndex is clean: each task owns its output slot.
+func perIndex(v []float64) []float64 {
+	out := make([]float64, len(v))
+	par.Dynamic(len(v), 4, func(i int) {
+		out[i] += v[i] * 2
+	})
+	return out
+}
+
+// blockMerge is clean: a task-local accumulator lands in a per-block
+// slot, and the cross-block merge runs serially in index order.
+func blockMerge(v []float64) float64 {
+	const block = 4
+	nb := (len(v) + block - 1) / block
+	partial := make([]float64, nb)
+	par.Dynamic(nb, 2, func(b int) {
+		s := 0.0
+		for i := b * block; i < len(v) && i < (b+1)*block; i++ {
+			s += v[i]
+		}
+		partial[b] = s
+	})
+	total := 0.0
+	for _, p := range partial {
+		total += p
+	}
+	return total
+}
+
+// serialHelper is clean: addTo outside any task is ordinary code.
+func serialHelper(v []float64) float64 {
+	acc := 0.0
+	for _, x := range v {
+		addTo(&acc, x)
+	}
+	return acc
+}
+
+// intCounter is clean for this check: integer addition is associative
+// (the race itself is another tool's business).
+func intCounter(n int) int {
+	cnt := 0
+	par.Dynamic(n, 2, func(i int) {
+		cnt += i
+	})
+	return cnt
+}
+
+// ignored documents a deliberately tolerant accumulation.
+func ignored(v []float64) float64 {
+	e := 0.0
+	par.Dynamic(len(v), 2, func(i int) {
+		//lint:ignore floatreduce diagnostics-only running error estimate
+		e += v[i]
+	})
+	return e
+}

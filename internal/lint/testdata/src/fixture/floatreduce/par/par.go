@@ -1,0 +1,17 @@
+// Package par mirrors the module's internal/par launcher surface for
+// the floatreduce fixture; the bodies are serial stand-ins — the check
+// keys on the launch-site shape, not the execution.
+package par
+
+// For splits [0,n) into one chunk per call.
+func For(n, workers int, fn func(lo, hi int)) { fn(0, n) }
+
+// ForEach visits every index.
+func ForEach(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Dynamic is ForEach with work stealing in the real package.
+func Dynamic(n, workers int, fn func(i int)) { ForEach(n, workers, fn) }

@@ -1,0 +1,20 @@
+// Package rng is the fixture's stand-in for the module's seeded rng
+// package: the one directory seedrand exempts from the import rule.
+// The wall-clock-seeding rule still applies inside it.
+package rng
+
+import (
+	"math/rand"
+	"time"
+)
+
+// New is the blessed path: a stream pinned to an explicit seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// FromClock defeats the whole point, even from inside the exempt
+// package.
+func FromClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want seedrand (time seed)
+}

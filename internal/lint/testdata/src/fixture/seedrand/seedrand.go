@@ -1,8 +1,28 @@
-// Package seedrand is a lint fixture: math/rand outside internal/rng.
+// Package seedrand is a lint fixture: math/rand outside internal/rng,
+// plus wall-clock seeding (flagged wherever it appears — the inner
+// NewSource carries the finding, not the wrapping New).
 package seedrand
 
-import "math/rand" // want seedrand
+import (
+	"math/rand" // want seedrand (import outside internal/rng)
+	"time"
+)
 
 // Sample draws from the unseeded global stream — exactly the
 // reproducibility hazard the check exists for.
 func Sample() float64 { return rand.Float64() }
+
+// ClockSeeded constructs a different realization every run.
+func ClockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want seedrand (time seed)
+}
+
+// Reseeded pushes the clock into the global stream.
+func Reseeded() {
+	rand.Seed(time.Now().Unix()) // want seedrand (time seed)
+}
+
+// FixedSeeded is clean apart from the import: the realization is pinned.
+func FixedSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}

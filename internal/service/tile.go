@@ -264,6 +264,7 @@ func (s *Server) serveTile(w http.ResponseWriter, r *http.Request, entry *sceneE
 				writeError(w, http.StatusServiceUnavailable, "tile deadline exceeded")
 				return
 			}
+			//lint:ignore detflow error payloads are client diagnostics, not content-addressed artifacts
 			writeError(w, http.StatusInternalServerError, res.err.Error())
 			return
 		}

@@ -118,9 +118,11 @@ step_end
 # determinism check (two fetches, one cold one cached, must agree).
 # The pyramid route is exercised at z=0 (which must alias the golden
 # free-window tile byte-for-byte, via the shared cache entry) and z=2,
-# and /metrics must expose the per-level hit/miss counters. Finally
-# SIGTERM must drain and exit 0 within the deadline.
-step_begin "rrsd smoke (healthz, golden tile, pyramid route, graceful shutdown)"
+# and /metrics must expose the per-level hit/miss counters. A second
+# daemon with -gen-workers 4 must reproduce the golden tile exactly
+# (the determinism contract detflow/floatreduce enforce statically).
+# Finally SIGTERM must drain and exit 0 within the deadline.
+step_begin "rrsd smoke (healthz, golden tile, pyramid route, worker determinism, graceful shutdown)"
 GOLDEN_TILE_SHA256="c489266437db4399309159e8e96ed6998423d7d28d5740b2ce569abeb6c36688"
 SMOKE_DIR="$(mktemp -d)"
 go build -o "$SMOKE_DIR/rrsd" ./cmd/rrsd
@@ -163,6 +165,26 @@ curl -sf "http://$RRSD_ADDR/v1/scene/$SCENE_ID/tile/2/0,0?seed=1&format=f32" \
 METRICS="$(curl -sf "http://$RRSD_ADDR/metrics")"
 grep -q 'rrsd_tile_level_hits_total{level="0"}' <<<"$METRICS"
 grep -q 'rrsd_tile_level_misses_total{level="2"} 1' <<<"$METRICS"
+# Determinism across worker counts: the detflow/floatreduce contract,
+# checked dynamically. A second daemon with -gen-workers 4 must produce
+# the golden tile byte-for-byte identical to the single-worker render.
+"$SMOKE_DIR/rrsd" -addr 127.0.0.1:0 -portfile "$SMOKE_DIR/port4" -tile-edge 64 -gen-workers 4 -q &
+RRSD4_PID=$!
+for _ in $(seq 1 100); do
+    [[ -s "$SMOKE_DIR/port4" ]] && break
+    kill -0 "$RRSD4_PID" 2>/dev/null || { echo "rrsd (-gen-workers 4) died on startup" >&2; exit 1; }
+    sleep 0.1
+done
+RRSD4_ADDR="$(cat "$SMOKE_DIR/port4")"
+SCENE_ID4="$(curl -sf -X POST --data "$SCENE" "http://$RRSD4_ADDR/v1/scene" \
+    | sed -E 's/.*"id":"([0-9a-f]+)".*/\1/')"
+[[ "$SCENE_ID4" == "$SCENE_ID" ]] || { echo "scene id depends on workers: $SCENE_ID4" >&2; exit 1; }
+curl -sf "http://$RRSD4_ADDR/v1/scene/$SCENE_ID4/tile/0,0,64x64?seed=1&format=f32" \
+    -o "$SMOKE_DIR/tile-w4.f32"
+cmp "$SMOKE_DIR/tile.f32" "$SMOKE_DIR/tile-w4.f32" \
+    || { echo "tile bytes depend on -gen-workers" >&2; exit 1; }
+kill -TERM "$RRSD4_PID"
+wait "$RRSD4_PID" || { echo "rrsd (-gen-workers 4) exited non-zero after SIGTERM" >&2; exit 1; }
 kill -TERM "$RRSD_PID"
 SHUTDOWN_OK=0
 for _ in $(seq 1 100); do
@@ -187,6 +209,7 @@ if [[ "$FUZZTIME" != "0" ]]; then
     go test -run='^$' -fuzz=FuzzSupportMaskPoint -fuzztime="$FUZZTIME" ./internal/inhomo
     go test -run='^$' -fuzz=FuzzCFG -fuzztime="$FUZZTIME" ./internal/lint
     go test -run='^$' -fuzz=FuzzSummary -fuzztime="$FUZZTIME" ./internal/lint
+    go test -run='^$' -fuzz=FuzzTaint -fuzztime="$FUZZTIME" ./internal/lint
     step_end
 fi
 
