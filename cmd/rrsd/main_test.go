@@ -90,6 +90,89 @@ func TestRunBadFlagsAndAddr(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &buf); err == nil {
 		t.Error("unlistenable address accepted")
 	}
+	if err := run(context.Background(), []string{"-peers", "a=http://127.0.0.1:1"}, &buf); err == nil {
+		t.Error("-peers without -node accepted")
+	}
+	if err := run(context.Background(), []string{"-node", "a", "-peers", "garbage"}, &buf); err == nil {
+		t.Error("malformed -peers accepted")
+	}
+}
+
+// TestRunClusterFlags boots a clustered daemon and checks the cluster
+// surface end to end: /v1/cluster serves the membership view, /v1/info
+// reports the effective flags, and shutdown still drains cleanly (the
+// prober joins before exit).
+func TestRunClusterFlags(t *testing.T) {
+	portFile := filepath.Join(t.TempDir(), "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	errc := par.Background(func() error {
+		return run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-portfile", portFile, "-q",
+			"-node", "a", "-probe-interval", "1h",
+			"-peers", "a=http://placeholder:1", "-peers", "b=http://127.0.0.1:1*2",
+		}, &buf)
+	})
+	addr := waitForPortFile(t, portFile, errc)
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster: %d %s", resp.StatusCode, body)
+	}
+	var snap struct {
+		Self  string `json:"self"`
+		Epoch uint64 `json:"epoch"`
+		Peers []struct {
+			Name   string  `json:"name"`
+			Weight float64 `json:"weight"`
+		} `json:"peers"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("cluster body %q: %v", body, err)
+	}
+	if snap.Self != "a" || len(snap.Peers) != 2 || snap.Epoch == 0 {
+		t.Errorf("cluster view: %+v", snap)
+	}
+
+	resp, err = http.Get(base + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var info struct {
+		Flags   map[string]string `json:"flags"`
+		Cluster *struct {
+			Self  string `json:"self"`
+			Peers int    `json:"peers"`
+		} `json:"cluster"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("info body %q: %v", body, err)
+	}
+	if info.Flags["node"] != "a" || info.Flags["addr"] != "127.0.0.1:0" {
+		t.Errorf("info flags: %+v", info.Flags)
+	}
+	if info.Cluster == nil || info.Cluster.Self != "a" || info.Cluster.Peers != 2 {
+		t.Errorf("info cluster: %+v", info.Cluster)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after cancel; want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("clustered run did not drain within 10s of cancel")
+	}
 }
 
 // waitForPortFile polls for the daemon's -portfile, failing fast if the

@@ -15,6 +15,13 @@
 // rates:
 //
 //	rrsload -url http://localhost:8270 -duration 10s -walk zoom -zmax 3
+//
+// -url accepts a comma-separated list of base URLs: the scene is
+// registered on every node and workers spread requests round-robin,
+// the way a fleet-fronting load balancer would; the report then adds a
+// per-node section (throughput, cache-hit and shed rates). Responses
+// of 429/503 are retried with jittered backoff honoring Retry-After,
+// and the summary reports total time spent backing off.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
 	"os"
@@ -47,18 +55,21 @@ func main() {
 	}
 }
 
-// sample is one completed request.
+// sample is one completed request (including any shed-retry attempts).
 type sample struct {
-	code    int // 0 = transport error
+	code    int // final status; 0 = transport error
 	latency time.Duration
 	level   int  // pyramid level, -1 for free-window requests
 	hit     bool // X-Cache: hit
+	urlIdx  int  // index into the -url list this request targeted
+	retries int  // 429/503 responses that were retried
+	backoff time.Duration
 }
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rrsload", flag.ContinueOnError)
 	fs.SetOutput(out)
-	baseURL := fs.String("url", "", "rrsd base URL, e.g. http://localhost:8270 (required)")
+	baseURL := fs.String("url", "", "rrsd base URL(s), comma-separated for a fleet (required)")
 	scenePath := fs.String("scene", "", "scene JSON file (default: a built-in 64x64 gaussian scene)")
 	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
 	qps := fs.Float64("qps", 100, "target aggregate request rate (0 = as fast as the closed loop allows)")
@@ -78,7 +89,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *zmax < 0 {
 		return errors.New("-zmax must be >= 0")
 	}
-	if *baseURL == "" {
+	urls := parseURLs(*baseURL)
+	if len(urls) == 0 {
 		return errors.New("-url is required")
 	}
 	if *conc < 1 {
@@ -95,11 +107,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
-	id, err := registerScene(ctx, *baseURL, scene)
-	if err != nil {
-		return err
+	// Register on every node. Scene IDs are content-addressed, so a
+	// clustered fleet (which fans registrations out itself) and a set of
+	// independent daemons both converge on one ID; a mismatch means the
+	// URLs point at incompatible servers.
+	var id string
+	for _, u := range urls {
+		got, err := registerScene(ctx, u, scene)
+		if err != nil {
+			return err
+		}
+		if id == "" {
+			id = got
+		} else if got != id {
+			return fmt.Errorf("scene id mismatch: %s returned %s, %s returned %s", urls[0], id, u, got)
+		}
 	}
-	fmt.Fprintf(out, "rrsload: scene %s, %d workers, %s, target %.0f req/s\n", id, *conc, *duration, *qps)
+	fmt.Fprintf(out, "rrsload: scene %s, %d nodes, %d workers, %s, target %.0f req/s\n",
+		id, len(urls), *conc, *duration, *qps)
 
 	// Each worker self-paces at qps/c: request k of worker w is due at
 	// start + k*interval. A closed loop never exceeds the target, and
@@ -131,15 +156,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if runCtx.Err() != nil || !time.Now().Before(deadline) {
 				break
 			}
+			// Round-robin over the fleet: request k of worker w always
+			// lands on the same node, so per-node traffic is identical
+			// between runs.
+			ui := (w + k) % len(urls)
+			var smp sample
 			if *walk == "zoom" {
 				// Workers replay the same trace at staggered offsets: a
 				// fleet of map sessions over one scene, sharing the cache
 				// the way real viewers of one dataset would.
 				step := trace[(w*31+k)%len(trace)]
-				got = append(got, fetchZoomTile(runCtx, client, *baseURL, id, step, *format))
+				smp = fetchZoomTile(runCtx, client, urls[ui], id, step, *format, w, k)
 			} else {
-				got = append(got, fetchTile(runCtx, client, *baseURL, id, tileFor(w, k, mix, *seeds, *span, *format)))
+				smp = fetchTile(runCtx, client, urls[ui], id, tileFor(w, k, mix, *seeds, *span, *format), w, k)
 			}
+			smp.urlIdx = ui
+			got = append(got, smp)
 		}
 		perWorker[w] = got
 	})
@@ -150,10 +182,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		all = append(all, s...)
 	}
 	report(out, all, elapsed)
+	if len(urls) > 1 {
+		reportNodes(out, urls, all, elapsed)
+	}
 	if *walk == "zoom" {
 		reportLevels(out, all)
 	}
 	return nil
+}
+
+// parseURLs splits the -url flag into a list of base URLs, trimming
+// whitespace and trailing slashes and dropping empty entries.
+func parseURLs(s string) []string {
+	var urls []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part != "" {
+			urls = append(urls, part)
+		}
+	}
+	return urls
 }
 
 // zoomTrace builds the deterministic pan+zoom trajectory: starting at
@@ -191,26 +239,77 @@ func zoomTrace(zmax int) [][3]int64 {
 // fetchZoomTile requests one pyramid tile of the trace. The zoom walk
 // keeps a single seed: per-level cache behavior is the point, and seed
 // rotation would just scale every level's miss count equally.
-func fetchZoomTile(ctx context.Context, client *http.Client, base, id string, step [3]int64, format string) sample {
+func fetchZoomTile(ctx context.Context, client *http.Client, base, id string, step [3]int64, format string, w, k int) sample {
 	url := fmt.Sprintf("%s/v1/scene/%s/tile/%d/%d,%d?seed=1&format=%s",
 		base, id, step[0], step[1], step[2], format)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return sample{level: int(step[0])}
-	}
+	return doFetch(ctx, client, url, int(step[0]), w, k)
+}
+
+// maxAttempts bounds shed retries per request: two backoffs, then the
+// 429/503 is reported as the request's outcome.
+const maxAttempts = 3
+
+// doFetch issues one scheduled request, retrying 429/503 responses
+// with jittered backoff (honoring Retry-After) up to maxAttempts.
+// latency spans the whole request including backoff — the closed
+// loop's view — while backoff is also tallied separately for the
+// summary.
+func doFetch(ctx context.Context, client *http.Client, url string, level, w, k int) sample {
+	s := sample{level: level}
 	begin := time.Now()
-	resp, err := client.Do(req)
-	if err != nil {
-		return sample{latency: time.Since(begin), level: int(step[0])}
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			s.code, s.latency = 0, time.Since(begin)
+			return s
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			s.code, s.latency = 0, time.Since(begin)
+			return s
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		s.code = resp.StatusCode
+		s.hit = resp.Header.Get("X-Cache") == "hit"
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		shed := s.code == http.StatusTooManyRequests || s.code == http.StatusServiceUnavailable
+		if !shed || attempt+1 >= maxAttempts {
+			s.latency = time.Since(begin)
+			return s
+		}
+		d := retryDelay(retryAfter, w, k, attempt)
+		s.retries++
+		s.backoff += d
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			s.latency = time.Since(begin)
+			return s
+		}
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return sample{
-		code:    resp.StatusCode,
-		latency: time.Since(begin),
-		level:   int(step[0]),
-		hit:     resp.Header.Get("X-Cache") == "hit",
+}
+
+// retryDelay picks the backoff before retrying a shed request: the
+// server's Retry-After seconds when present (capped at 5s), else
+// 25ms·2^attempt, jittered into [0.5x, 1.5x) so a shedding node isn't
+// re-hit by every backed-off worker at once. The jitter is a hash of
+// (worker, k, attempt) — deterministic, like the rest of the schedule.
+func retryDelay(retryAfter string, w, k, attempt int) time.Duration {
+	base := 25 * time.Millisecond << attempt
+	if secs, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && secs >= 0 {
+		base = time.Duration(secs) * time.Second
+		if base == 0 {
+			base = 25 * time.Millisecond
+		}
 	}
+	if base > 5*time.Second {
+		base = 5 * time.Second
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d/%d", w, k, attempt)
+	u := float64(h.Sum64()>>11) / float64(1<<53)
+	return time.Duration(float64(base) * (0.5 + u))
 }
 
 // tileSpec is one request in the deterministic schedule.
@@ -239,22 +338,10 @@ func tileFor(w, k int, mix [][2]int, seeds int, span int64, format string) tileS
 	}
 }
 
-func fetchTile(ctx context.Context, client *http.Client, base, id string, ts tileSpec) sample {
+func fetchTile(ctx context.Context, client *http.Client, base, id string, ts tileSpec, w, k int) sample {
 	url := fmt.Sprintf("%s/v1/scene/%s/tile/%d,%d,%dx%d?seed=%d&format=%s",
 		base, id, ts.x0, ts.y0, ts.nx, ts.ny, ts.seed, ts.format)
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return sample{level: -1}
-	}
-	begin := time.Now()
-	resp, err := client.Do(req)
-	if err != nil {
-		return sample{latency: time.Since(begin), level: -1}
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return sample{code: resp.StatusCode, latency: time.Since(begin), level: -1,
-		hit: resp.Header.Get("X-Cache") == "hit"}
+	return doFetch(ctx, client, url, -1, w, k)
 }
 
 func registerScene(ctx context.Context, base string, scene []byte) (string, error) {
@@ -309,13 +396,16 @@ func report(out io.Writer, all []sample, elapsed time.Duration) {
 	}
 	lat := make([]time.Duration, len(all))
 	codes := map[int]int{}
-	errs := 0
+	errs, retries := 0, 0
+	var backoff time.Duration
 	for i, s := range all {
 		lat[i] = s.latency
 		codes[s.code]++
 		if s.code != http.StatusOK {
 			errs++
 		}
+		retries += s.retries
+		backoff += s.backoff
 	}
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	q := func(p float64) time.Duration {
@@ -341,6 +431,39 @@ func report(out io.Writer, all []sample, elapsed time.Duration) {
 		parts = append(parts, fmt.Sprintf("%s=%d", label, codes[c]))
 	}
 	fmt.Fprintf(out, "rrsload: status %s\n", strings.Join(parts, " "))
+	fmt.Fprintf(out, "rrsload: shed retries %d, total backoff %s\n", retries, backoff.Round(time.Millisecond))
+}
+
+// reportNodes prints the per-node view of a multi-URL run: request
+// share, throughput, cache-hit rate, and how often that node shed
+// (429/503 responses, counting retried attempts). On a healthy sharded
+// fleet the hit rates should sit within a few points of each other —
+// divergence means a node is not pulling its ownership share.
+func reportNodes(out io.Writer, urls []string, all []sample, elapsed time.Duration) {
+	for i, u := range urls {
+		n, hits, shed := 0, 0, 0
+		for _, s := range all {
+			if s.urlIdx != i {
+				continue
+			}
+			n++
+			shed += s.retries
+			switch s.code {
+			case http.StatusOK:
+				if s.hit {
+					hits++
+				}
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				shed++
+			}
+		}
+		if n == 0 {
+			fmt.Fprintf(out, "rrsload: node %s: 0 requests\n", u)
+			continue
+		}
+		fmt.Fprintf(out, "rrsload: node %s: %d requests (%.1f req/s), %.1f%% cache hits, %d shed\n",
+			u, n, float64(n)/elapsed.Seconds(), 100*float64(hits)/float64(n), shed)
+	}
 }
 
 // reportLevels prints per-pyramid-level request counts and cache hit

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -71,6 +73,115 @@ func TestRunAgainstService(t *testing.T) {
 	}
 	if strings.Contains(out, "error=") {
 		t.Errorf("transport errors during load:\n%s", out)
+	}
+}
+
+// TestRunMultiURL drives two independent daemons through the
+// comma-separated -url form: the content-addressed scene registers
+// identically on both, traffic round-robins, and the report grows a
+// per-node section.
+func TestRunMultiURL(t *testing.T) {
+	s1 := service.New(service.Config{Workers: 2})
+	ts1 := httptest.NewServer(s1.Handler())
+	s2 := service.New(service.Config{Workers: 2})
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts1.Close(); s1.Close(); ts2.Close(); s2.Close() })
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", ts1.URL + "," + ts2.URL, "-duration", "300ms", "-qps", "100", "-c", "2",
+		"-sizes", "16x16", "-span", "128",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"2 nodes", "node " + ts1.URL, "node " + ts2.URL, "shed retries", "total backoff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-url report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "error=") {
+		t.Errorf("transport errors during multi-url load:\n%s", out)
+	}
+}
+
+// TestRunRetryAfterBackoff points rrsload at a server that always
+// sheds and checks that the shed responses are retried with backoff
+// and the summary reports it.
+func TestRunRetryAfterBackoff(t *testing.T) {
+	shedder := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusCreated)
+			fmt.Fprint(w, `{"id":"deadbeef"}`)
+			return
+		}
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	t.Cleanup(shedder.Close)
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-url", shedder.URL, "-duration", "300ms", "-qps", "50", "-c", "2",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	// The status line may lead with error= when the deadline cut a
+	// request mid-flight; only the shed count itself matters here.
+	if !strings.Contains(out, " 429=") {
+		t.Errorf("report missing shed status:\n%s", out)
+	}
+	if strings.Contains(out, "shed retries 0,") {
+		t.Errorf("429s were never retried:\n%s", out)
+	}
+	if strings.Contains(out, "total backoff 0s") {
+		t.Errorf("no backoff accumulated:\n%s", out)
+	}
+}
+
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	if retryDelay("", 1, 2, 0) != retryDelay("", 1, 2, 0) {
+		t.Error("retryDelay is not deterministic")
+	}
+	// No header: exponential base, jittered into [0.5x, 1.5x).
+	for attempt := 0; attempt < 3; attempt++ {
+		base := 25 * time.Millisecond << attempt
+		d := retryDelay("", 3, 7, attempt)
+		if d < base/2 || d >= base+base/2 {
+			t.Errorf("attempt %d: delay %s outside [%s, %s)", attempt, d, base/2, base+base/2)
+		}
+	}
+	// Retry-After seconds are honored, jittered, and capped.
+	if d := retryDelay("2", 0, 0, 0); d < time.Second || d >= 3*time.Second {
+		t.Errorf("Retry-After 2: delay %s outside [1s, 3s)", d)
+	}
+	if d := retryDelay("3600", 0, 0, 0); d >= 8*time.Second {
+		t.Errorf("Retry-After 3600: delay %s not capped", d)
+	}
+	// Different (worker, k) jitter differently.
+	same := 0
+	for k := 0; k < 16; k++ {
+		if retryDelay("", 0, k, 0) == retryDelay("", 1, k, 0) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("jitter ignores the worker index")
+	}
+}
+
+func TestParseURLs(t *testing.T) {
+	got := parseURLs(" http://a:1/ ,, http://b:2 ")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("parseURLs = %v", got)
+	}
+	if parseURLs(" , ") != nil {
+		t.Error("blank -url accepted")
 	}
 }
 

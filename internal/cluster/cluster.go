@@ -1,0 +1,413 @@
+// Package cluster makes rrsd a sharded fleet. The paper's successive
+// computation property (§2.4) means every tile is a pure function of
+// (scene, seed, level, window): no node needs any other node's state
+// to produce correct bytes, so "which node should render this tile"
+// is purely a cache-locality question. This package answers it with a
+// shard map: weighted rendezvous (HRW) hashing assigns every tile key
+// an owner among the currently-alive peers, every node computes the
+// same assignment from the same membership view, and a membership
+// change only remaps the keys whose owner changed (the HRW minimal-
+// disruption property — no ring maintenance, no token ranges).
+//
+// Membership is a static registry (flag- or file-provided peer list)
+// with health-checked liveness: a background prober marks peers up or
+// down from /healthz and re-reads the peers file when its bytes
+// change, and every change bumps an epoch exposed at /v1/cluster so
+// operators (and tests) can watch the map converge. Epochs are local
+// to each node — transient disagreement between nodes is harmless
+// because any node can render any tile identically; ownership only
+// steers traffic toward the hottest cache.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"roughsurface/internal/par"
+)
+
+// Peer is one fleet member. Weight scales its share of the key space
+// (2.0 owns twice the keys of 1.0); zero or negative means 1.
+type Peer struct {
+	Name   string  `json:"name"`
+	URL    string  `json:"url"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Options tunes a Cluster.
+type Options struct {
+	// ProbeInterval is the health-probe and peers-file poll period
+	// (default 2s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz probe (default min(ProbeInterval, 2s)).
+	ProbeTimeout time.Duration
+	// PeersFile, when non-empty, is polled every ProbeInterval: when
+	// its bytes change, the peer set is reloaded from its JSON array
+	// of Peer objects. This is how a fleet whose ports are only known
+	// after every member has bound (port 0) assembles itself.
+	PeersFile string
+	// Client issues health probes (default: a dedicated client).
+	Client *http.Client
+}
+
+// Cluster is one node's view of the fleet: the peer set, which peers
+// are alive, and the epoch stamping that view. Safe for concurrent
+// use. Start launches the prober; Close joins it.
+type Cluster struct {
+	self string
+	opts Options
+
+	mu      sync.Mutex
+	peers   []Peer // sorted by name, deduplicated
+	alive   map[string]bool
+	epoch   uint64
+	lastErr string // last peers-file problem, surfaced in Snapshot
+	fileRaw []byte // bytes of the last successfully-applied peers file
+
+	stop chan struct{}
+	done <-chan error
+}
+
+// New builds a Cluster for node self. peers may include self (matched
+// by name; its URL is informational — a node never dials itself) and
+// may be empty when Options.PeersFile will supply the fleet later.
+// Peers start alive: optimism lets the first requests route before
+// the first probe completes, and the prober corrects within one
+// interval.
+func New(self string, peers []Peer, opts Options) *Cluster {
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = opts.ProbeInterval
+		if opts.ProbeTimeout > 2*time.Second {
+			opts.ProbeTimeout = 2 * time.Second
+		}
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	c := &Cluster{
+		self:  self,
+		opts:  opts,
+		alive: make(map[string]bool),
+		stop:  make(chan struct{}),
+	}
+	c.SetPeers(peers)
+	return c
+}
+
+// Self returns the local node's name.
+func (c *Cluster) Self() string { return c.self }
+
+// SetPeers replaces the peer set (deduplicated by name, sorted).
+// Peers keep their previous liveness; new peers start alive. The
+// epoch bumps when the effective set changed.
+func (c *Cluster) SetPeers(peers []Peer) {
+	normalized := normalizePeers(peers)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if peersEqual(c.peers, normalized) {
+		return
+	}
+	alive := make(map[string]bool, len(normalized))
+	for _, p := range normalized {
+		if was, ok := c.alive[p.Name]; ok {
+			alive[p.Name] = was
+		} else {
+			alive[p.Name] = true
+		}
+	}
+	c.peers, c.alive = normalized, alive
+	c.epoch++
+}
+
+func normalizePeers(peers []Peer) []Peer {
+	byName := make(map[string]Peer, len(peers))
+	for _, p := range peers {
+		if p.Name == "" {
+			continue
+		}
+		if p.Weight <= 0 {
+			p.Weight = 1
+		}
+		p.URL = strings.TrimRight(p.URL, "/")
+		byName[p.Name] = p
+	}
+	out := make([]Peer, 0, len(byName))
+	for _, p := range byName {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func peersEqual(a, b []Peer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Epoch returns the local membership-view epoch.
+func (c *Cluster) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Size returns the peer-set size (including self, alive or not).
+func (c *Cluster) Size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// AliveCount returns how many peers are currently considered alive.
+func (c *Cluster) AliveCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, p := range c.peers {
+		if c.alive[p.Name] {
+			n++
+		}
+	}
+	return n
+}
+
+// Owner returns the alive peer that owns key under weighted rendezvous
+// hashing. ok is false when the peer set is empty or nothing is alive
+// (callers then serve locally). Self, when present in the set, is
+// always considered alive.
+func (c *Cluster) Owner(key string) (Peer, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best Peer
+	bestScore := math.Inf(-1)
+	found := false
+	for _, p := range c.peers {
+		if p.Name != c.self && !c.alive[p.Name] {
+			continue
+		}
+		score := hrwScore(p.Name, key, p.Weight)
+		// Strict > with name-sorted iteration: ties (practically
+		// impossible at 64-bit hashes) break toward the first name.
+		if !found || score > bestScore {
+			best, bestScore, found = p, score, true
+		}
+	}
+	return best, found
+}
+
+// hrwScore is the weighted rendezvous score of peer for key: with
+// h = hash(peer, key) mapped into (0,1), score = -weight/ln(h). The
+// peer with the maximum score owns the key; the logarithmic form makes
+// ownership probability proportional to weight (Thaler–Ravishankar).
+func hrwScore(peer, key string, weight float64) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(peer))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	// Map the top 53 bits into (0,1): +1 keeps it strictly positive so
+	// ln is finite and negative.
+	u := (float64(h.Sum64()>>11) + 1) / float64(1<<53)
+	return -weight / math.Log(u)
+}
+
+// MarkAlive records one peer's probed liveness, bumping the epoch on a
+// transition. Unknown names are ignored.
+func (c *Cluster) MarkAlive(name string, alive bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	was, ok := c.alive[name]
+	if !ok || was == alive {
+		return
+	}
+	c.alive[name] = alive
+	c.epoch++
+}
+
+// Snapshot is the epoch-stamped map served at GET /v1/cluster.
+type Snapshot struct {
+	Self      string       `json:"self"`
+	Epoch     uint64       `json:"epoch"`
+	Peers     []PeerStatus `json:"peers"`
+	PeersFile string       `json:"peers_file,omitempty"`
+	FileError string       `json:"peers_file_error,omitempty"`
+}
+
+// PeerStatus is one peer's row in the snapshot.
+type PeerStatus struct {
+	Name   string  `json:"name"`
+	URL    string  `json:"url"`
+	Weight float64 `json:"weight"`
+	Alive  bool    `json:"alive"`
+	Selfp  bool    `json:"self,omitempty"`
+}
+
+// Snapshot returns the current membership view, peers sorted by name.
+func (c *Cluster) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{Self: c.self, Epoch: c.epoch, PeersFile: c.opts.PeersFile, FileError: c.lastErr}
+	for _, p := range c.peers {
+		s.Peers = append(s.Peers, PeerStatus{
+			Name:   p.Name,
+			URL:    p.URL,
+			Weight: p.Weight,
+			Alive:  p.Name == c.self || c.alive[p.Name],
+			Selfp:  p.Name == c.self,
+		})
+	}
+	return s
+}
+
+// othersSnapshot lists the peers to probe (everyone but self) without
+// holding the lock across network calls.
+func (c *Cluster) othersSnapshot() []Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		if p.Name != c.self {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Start launches the background prober: every ProbeInterval it
+// re-reads the peers file (when configured) and probes every other
+// peer's /healthz. Call Close to stop and join it.
+func (c *Cluster) Start() {
+	c.loadPeersFile() // synchronous first load: flags beat the first tick
+	c.done = par.Background(func() error {
+		t := time.NewTicker(c.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return nil
+			case <-t.C:
+				c.loadPeersFile()
+				c.probeAll()
+			}
+		}
+	})
+}
+
+// Close stops the prober and joins it. Safe to call when Start was
+// never called; not safe to call twice.
+func (c *Cluster) Close() {
+	close(c.stop)
+	if c.done != nil {
+		<-c.done
+	}
+}
+
+// loadPeersFile re-reads Options.PeersFile and applies it when its
+// bytes changed since the last successful load. Read or parse errors
+// keep the previous set and surface in Snapshot.FileError.
+func (c *Cluster) loadPeersFile() {
+	if c.opts.PeersFile == "" {
+		return
+	}
+	raw, err := os.ReadFile(c.opts.PeersFile)
+	if err != nil {
+		c.setFileErr(fmt.Sprintf("read: %v", err))
+		return
+	}
+	c.mu.Lock()
+	same := string(raw) == string(c.fileRaw)
+	c.mu.Unlock()
+	if same {
+		return
+	}
+	var peers []Peer
+	if err := json.Unmarshal(raw, &peers); err != nil {
+		c.setFileErr(fmt.Sprintf("parse: %v", err))
+		return
+	}
+	c.SetPeers(peers)
+	c.mu.Lock()
+	c.fileRaw = raw
+	c.lastErr = ""
+	c.mu.Unlock()
+}
+
+func (c *Cluster) setFileErr(msg string) {
+	c.mu.Lock()
+	c.lastErr = msg
+	c.mu.Unlock()
+}
+
+// probeAll checks every other peer's /healthz once. A peer is alive
+// iff the probe returns 200 within ProbeTimeout — a draining node
+// answers 503 and is routed around before its listener closes.
+func (c *Cluster) probeAll() {
+	for _, p := range c.othersSnapshot() {
+		c.MarkAlive(p.Name, c.probe(p))
+	}
+}
+
+func (c *Cluster) probe(p Peer) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.opts.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ParsePeersFlag decodes the -peers flag format: comma-separated
+// name=url entries with an optional *weight suffix, e.g.
+// "a=http://10.0.0.1:8270,b=http://10.0.0.2:8270*2".
+func ParsePeersFlag(s string) ([]Peer, error) {
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("peer %q: want name=url[*weight]", part)
+		}
+		p := Peer{Name: name, Weight: 1}
+		if url, w, ok := strings.Cut(rest, "*"); ok {
+			var weight float64
+			if _, err := fmt.Sscanf(w, "%g", &weight); err != nil || weight <= 0 {
+				return nil, fmt.Errorf("peer %q: weight %q: want a positive number", part, w)
+			}
+			p.URL, p.Weight = url, weight
+		} else {
+			p.URL = rest
+		}
+		if p.URL == "" {
+			return nil, fmt.Errorf("peer %q: empty url", part)
+		}
+		peers = append(peers, p)
+	}
+	return peers, nil
+}

@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("scene|%d|%d,%d,256x256|f32|f64", i%4, i*64, i*64)
+	}
+	return out
+}
+
+// TestOwnerDeterministicAcrossNodes is the property the whole design
+// rests on: every node, given the same membership view, must route a
+// key to the same owner — regardless of which node is "self".
+func TestOwnerDeterministicAcrossNodes(t *testing.T) {
+	peers := []Peer{{Name: "a", URL: "http://a"}, {Name: "b", URL: "http://b"}, {Name: "c", URL: "http://c"}}
+	ca := New("a", peers, Options{})
+	cb := New("b", peers, Options{})
+	for _, k := range keys(500) {
+		oa, oka := ca.Owner(k)
+		ob, okb := cb.Owner(k)
+		if !oka || !okb || oa.Name != ob.Name {
+			t.Fatalf("key %q: node a says %q (%v), node b says %q (%v)", k, oa.Name, oka, ob.Name, okb)
+		}
+	}
+}
+
+// TestOwnerBalance checks the HRW distribution: with equal weights
+// each of 4 peers should own about a quarter of a large key set.
+func TestOwnerBalance(t *testing.T) {
+	peers := []Peer{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}}
+	c := New("a", peers, Options{})
+	counts := map[string]int{}
+	ks := keys(4000)
+	for _, k := range ks {
+		o, ok := c.Owner(k)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[o.Name]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p.Name]) / float64(len(ks))
+		if share < 0.18 || share > 0.32 {
+			t.Errorf("peer %s owns %.1f%% of keys, want ~25%%", p.Name, 100*share)
+		}
+	}
+}
+
+// TestOwnerWeightBias checks that a weight-3 peer owns about three
+// times the keys of a weight-1 peer.
+func TestOwnerWeightBias(t *testing.T) {
+	c := New("a", []Peer{{Name: "a", Weight: 3}, {Name: "b", Weight: 1}}, Options{})
+	ks := keys(4000)
+	na := 0
+	for _, k := range ks {
+		if o, _ := c.Owner(k); o.Name == "a" {
+			na++
+		}
+	}
+	share := float64(na) / float64(len(ks))
+	if share < 0.68 || share > 0.82 {
+		t.Errorf("weight-3 peer owns %.1f%% of keys, want ~75%%", 100*share)
+	}
+}
+
+// TestOwnerMinimalDisruption is the HRW property that makes failover
+// cheap: when a peer dies, only the keys it owned move; every other
+// key keeps its owner.
+func TestOwnerMinimalDisruption(t *testing.T) {
+	peers := []Peer{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}}
+	c := New("a", peers, Options{})
+	ks := keys(2000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		o, _ := c.Owner(k)
+		before[k] = o.Name
+	}
+	c.MarkAlive("c", false)
+	for _, k := range ks {
+		o, ok := c.Owner(k)
+		if !ok {
+			t.Fatal("no owner after one death")
+		}
+		if before[k] != "c" && o.Name != before[k] {
+			t.Fatalf("key %q moved %s -> %s though %s stayed alive", k, before[k], o.Name, before[k])
+		}
+		if before[k] == "c" && o.Name == "c" {
+			t.Fatalf("key %q still owned by dead peer", k)
+		}
+	}
+}
+
+// TestEpochAndLiveness pins the epoch contract: membership and
+// liveness transitions bump it, no-ops don't, and self is always
+// routable even when marked down by a confused probe.
+func TestEpochAndLiveness(t *testing.T) {
+	c := New("a", []Peer{{Name: "a"}, {Name: "b"}}, Options{})
+	e0 := c.Epoch()
+	c.MarkAlive("b", true) // already alive: no-op
+	if c.Epoch() != e0 {
+		t.Error("no-op MarkAlive bumped the epoch")
+	}
+	c.MarkAlive("b", false)
+	if c.Epoch() != e0+1 {
+		t.Errorf("down transition: epoch %d, want %d", c.Epoch(), e0+1)
+	}
+	c.MarkAlive("nosuch", false)
+	if c.Epoch() != e0+1 {
+		t.Error("unknown peer bumped the epoch")
+	}
+	c.SetPeers([]Peer{{Name: "a"}, {Name: "b"}}) // same set
+	if c.Epoch() != e0+1 {
+		t.Error("identical SetPeers bumped the epoch")
+	}
+	c.SetPeers([]Peer{{Name: "a"}, {Name: "b"}, {Name: "c", URL: "http://c"}})
+	if c.Epoch() != e0+2 {
+		t.Errorf("grown set: epoch %d, want %d", c.Epoch(), e0+2)
+	}
+	// b kept its probed-down state across the reload.
+	if s := c.Snapshot(); len(s.Peers) != 3 || s.Peers[1].Alive {
+		t.Errorf("snapshot after reload: %+v", s.Peers)
+	}
+	// With b down and c alive, owners come only from {a, c}.
+	for _, k := range keys(200) {
+		if o, ok := c.Owner(k); !ok || o.Name == "b" {
+			t.Fatalf("key %q routed to down peer (%v)", k, ok)
+		}
+	}
+	// Everything down but self: self still owns every key.
+	c.MarkAlive("c", false)
+	for _, k := range keys(50) {
+		if o, ok := c.Owner(k); !ok || o.Name != "a" {
+			t.Fatalf("key %q: owner %q ok=%v, want self", k, o.Name, ok)
+		}
+	}
+}
+
+// TestProbeMarksDown drives probeAll against a live-then-failing peer.
+func TestProbeMarksDown(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	c := New("a", []Peer{{Name: "a"}, {Name: "b", URL: ts.URL}}, Options{ProbeTimeout: 2 * time.Second})
+	c.MarkAlive("b", false) // pretend a prior probe failed
+	c.probeAll()
+	if got := c.AliveCount(); got != 2 {
+		t.Fatalf("alive after healthy probe: %d, want 2", got)
+	}
+	healthy.Store(false)
+	c.probeAll()
+	if got := c.AliveCount(); got != 1 {
+		t.Fatalf("alive after 503 probe: %d, want 1 (self)", got)
+	}
+}
+
+// TestPeersFileReload brings a fleet up the way check.sh does: start
+// with an empty file, then write the real membership and watch the
+// prober apply it.
+func TestPeersFileReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "peers.json")
+	if err := os.WriteFile(path, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := New("a", nil, Options{PeersFile: path, ProbeInterval: 10 * time.Millisecond})
+	c.Start()
+	defer c.Close()
+	if c.Size() != 0 {
+		t.Fatalf("initial size %d, want 0", c.Size())
+	}
+	peers := `[{"name":"a","url":"http://127.0.0.1:1"},{"name":"b","url":"http://127.0.0.1:2","weight":2}]`
+	if err := os.WriteFile(path, []byte(peers), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Size() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("peers file never applied: size %d", c.Size())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := c.Snapshot()
+	if int(s.Peers[1].Weight) != 2 || !s.Peers[0].Selfp {
+		t.Errorf("snapshot: %+v", s.Peers)
+	}
+	// A corrupt rewrite keeps the applied set and surfaces the error.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for c.Snapshot().FileError == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("parse error never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Size() != 2 {
+		t.Errorf("corrupt file changed the peer set: size %d", c.Size())
+	}
+}
+
+// TestParsePeersFlag pins the -peers syntax.
+func TestParsePeersFlag(t *testing.T) {
+	peers, err := ParsePeersFlag("a=http://h:1, b=http://h:2*2.5 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0] != (Peer{Name: "a", URL: "http://h:1", Weight: 1}) ||
+		peers[1] != (Peer{Name: "b", URL: "http://h:2", Weight: 2.5}) {
+		t.Errorf("parsed %+v", peers)
+	}
+	for _, bad := range []string{"nourl", "a=", "a=http://h*-1", "a=http://h*x"} {
+		if _, err := ParsePeersFlag(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -20,6 +20,12 @@ package lint
 //        interprocedural rule — whether a function is on a request
 //        path and whether it transitively blocks are both call-graph
 //        facts.
+//   R4 — an outbound HTTP request built while an inbound context is
+//        available (a context parameter, or *http.Request in a
+//        handler) must carry it: http.NewRequest and the package-level
+//        http.Get/Post/Head/PostForm all attach context.Background(),
+//        so the proxied dial outlives the client that asked for it.
+//        Use http.NewRequestWithContext.
 
 import "go/ast"
 
@@ -32,15 +38,22 @@ func runCtxflow(p *pass) {
 				"context parameter %q is never used; thread it into blocking calls, or declare it _ to document the drop",
 				sum.ctxName)
 		}
-		if sum.hasCtx {
+		if hasInbound := sum.hasCtx || s.isHandlerDecl(n); hasInbound {
 			ast.Inspect(n.decl.Body, func(m ast.Node) bool {
 				call, ok := m.(*ast.CallExpr)
 				if !ok {
 					return true
 				}
-				if name, ok := pkgCallName(p, call, "context", "Background", "TODO"); ok {
+				if sum.hasCtx {
+					if name, ok := pkgCallName(p, call, "context", "Background", "TODO"); ok {
+						p.reportf(call.Pos(), "ctxflow",
+							"context.%s() while a context parameter is in scope; derive from it (context.WithoutCancel for detached work)",
+							name)
+					}
+				}
+				if name, ok := pkgCallName(p, call, "net/http", "NewRequest", "Get", "Post", "Head", "PostForm"); ok {
 					p.reportf(call.Pos(), "ctxflow",
-						"context.%s() while a context parameter is in scope; derive from it (context.WithoutCancel for detached work)",
+						"outbound http.%s drops the inbound context (it attaches context.Background()); use http.NewRequestWithContext",
 						name)
 				}
 				return true

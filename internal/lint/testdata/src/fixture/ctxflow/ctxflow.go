@@ -70,3 +70,25 @@ func shaped(ctx context.Context) {
 func quick() int {
 	return 3
 }
+
+// proxy builds an outbound request while an inbound context is in
+// scope but drops it (R4): the dial outlives the caller's deadline.
+func proxy(ctx context.Context) {
+	req, err := http.NewRequest(http.MethodGet, "http://peer/tile", nil) // want ctxflow (outbound drops inbound ctx)
+	if err != nil {
+		return
+	}
+	_ = req
+	<-ctx.Done()
+}
+
+// proxyShaped is the R4 negative: the outbound request carries the
+// inbound context.
+func proxyShaped(ctx context.Context) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://peer/tile", nil)
+	if err != nil {
+		return
+	}
+	_ = req
+	<-ctx.Done()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,7 +18,8 @@ import (
 // the scrape path allocates only the rendered text.
 type metrics struct {
 	mu       sync.Mutex
-	requests map[reqKey]*uint64 // by (route, status code)
+	requests map[reqKey]*uint64  // by (route, status code)
+	peerOps  map[peerKey]*uint64 // cluster traffic by (peer, op)
 
 	inflight    atomic.Int64
 	latency     histogram
@@ -42,9 +44,21 @@ type reqKey struct {
 	code  int
 }
 
+// peerKey labels one cluster counter: op is one of proxy_hit,
+// proxy_miss (successful proxied fetches, split by the owner's cache
+// state), fallback_down, fallback_shed, fallback_error (local renders
+// after the owner was unreachable, shedding, or erroring), and
+// fanout_error (scene replication to that peer failed). Cardinality is
+// bounded by the static peer set times six ops.
+type peerKey struct {
+	peer string
+	op   string
+}
+
 func newMetrics() *metrics {
 	return &metrics{
 		requests: make(map[reqKey]*uint64),
+		peerOps:  make(map[peerKey]*uint64),
 		latency:  newHistogram(),
 	}
 }
@@ -55,6 +69,17 @@ func (m *metrics) countRequest(route string, code int) {
 	if c == nil {
 		c = new(uint64)
 		m.requests[reqKey{route, code}] = c
+	}
+	*c++
+	m.mu.Unlock()
+}
+
+func (m *metrics) countPeer(peer, op string) {
+	m.mu.Lock()
+	c := m.peerOps[peerKey{peer, op}]
+	if c == nil {
+		c = new(uint64)
+		m.peerOps[peerKey{peer, op}] = c
 	}
 	*c++
 	m.mu.Unlock()
@@ -164,10 +189,59 @@ func (m *metrics) writePrometheus(w io.Writer, gauges []gaugeFn) {
 	counter("rrsd_prefetch_dropped_total", "Prefetch jobs shed at the queue.", m.prefetchDropped.Load())
 	counter("rrsd_prefetch_skipped_total", "Prefetch jobs that yielded to foreground renders.", m.prefetchSkipped.Load())
 
+	m.writePeerOps(w)
+
 	fmt.Fprintf(w, "# HELP rrsd_inflight_requests Requests currently being handled.\n")
 	fmt.Fprintf(w, "# TYPE rrsd_inflight_requests gauge\nrrsd_inflight_requests %d\n", m.inflight.Load())
 	for _, g := range gauges {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.read())
+	}
+}
+
+// writePeerOps renders the cluster traffic counters, sorted by
+// (peer, op) so consecutive scrapes are diffable. The op space splits
+// into three metric families to keep Prometheus label semantics clean:
+// proxy results, fallback reasons, and fan-out errors.
+func (m *metrics) writePeerOps(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]peerKey, 0, len(m.peerOps))
+	for k := range m.peerOps {
+		keys = append(keys, k)
+	}
+	vals := make(map[peerKey]uint64, len(keys))
+	for _, k := range keys {
+		vals[k] = *m.peerOps[k]
+	}
+	m.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].peer != keys[j].peer {
+			return keys[i].peer < keys[j].peer
+		}
+		return keys[i].op < keys[j].op
+	})
+	if len(keys) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP rrsd_cluster_proxy_total Tile fetches proxied to their owning shard, by owner and its cache result.\n")
+	fmt.Fprintf(w, "# TYPE rrsd_cluster_proxy_total counter\n")
+	for _, k := range keys {
+		if op, ok := strings.CutPrefix(k.op, "proxy_"); ok {
+			fmt.Fprintf(w, "rrsd_cluster_proxy_total{peer=%q,result=%q} %d\n", k.peer, op, vals[k])
+		}
+	}
+	fmt.Fprintf(w, "# HELP rrsd_cluster_fallback_total Local renders after the owning shard was unavailable, by owner and reason.\n")
+	fmt.Fprintf(w, "# TYPE rrsd_cluster_fallback_total counter\n")
+	for _, k := range keys {
+		if reason, ok := strings.CutPrefix(k.op, "fallback_"); ok {
+			fmt.Fprintf(w, "rrsd_cluster_fallback_total{peer=%q,reason=%q} %d\n", k.peer, reason, vals[k])
+		}
+	}
+	fmt.Fprintf(w, "# HELP rrsd_cluster_fanout_errors_total Scene replications to a peer that failed.\n")
+	fmt.Fprintf(w, "# TYPE rrsd_cluster_fanout_errors_total counter\n")
+	for _, k := range keys {
+		if k.op == "fanout_error" {
+			fmt.Fprintf(w, "rrsd_cluster_fanout_errors_total{peer=%q} %d\n", k.peer, vals[k])
+		}
 	}
 }
 

@@ -28,8 +28,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"roughsurface/internal/cluster"
 	"roughsurface/internal/core"
 	"roughsurface/internal/par"
 )
@@ -80,6 +83,17 @@ type Config struct {
 	// PrefetchQueue bounds queued prefetch jobs (default 32; negative
 	// disables prefetching entirely).
 	PrefetchQueue int
+	// Cluster, when non-nil, makes this node one shard of a fleet:
+	// tile requests route to their owning shard first (DESIGN.md §16)
+	// and scene registrations fan out to every peer. The Server does
+	// not own the Cluster's lifecycle — the caller Starts and Closes it.
+	Cluster *cluster.Cluster
+	// FanoutTimeout bounds the whole scene-registration fan-out
+	// (default 5s).
+	FanoutTimeout time.Duration
+	// Flags echoes the command-line flags in effect, verbatim, on
+	// GET /v1/info. Purely informational.
+	Flags map[string]string
 	// AccessLog receives one line per request when non-nil.
 	AccessLog *log.Logger
 }
@@ -139,6 +153,9 @@ func (c Config) withDefaults() Config {
 	if c.PrefetchQueue == 0 {
 		c.PrefetchQueue = 32
 	}
+	if c.FanoutTimeout <= 0 {
+		c.FanoutTimeout = 5 * time.Second
+	}
 	return c
 }
 
@@ -154,17 +171,32 @@ type Server struct {
 	prefetch *par.Pool // nil when PrefetchQueue < 0
 	met      *metrics
 	mux      *http.ServeMux
+
+	// Cluster state (nil/zero for a single-node daemon).
+	cluster    *cluster.Cluster
+	peerClient *http.Client
+	flightMu   sync.Mutex
+	flights    map[string]*flight // singleflight over proxied tile keys
+	draining   atomic.Bool
 }
 
 // New builds a Server and starts its worker pools.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		reg:   newRegistry(cfg.MaxScenes),
-		cache: newTileCache(cfg.CacheBytes, cfg.PinCacheBytes),
-		pool:  par.NewPool(cfg.Workers, cfg.QueueDepth),
-		met:   newMetrics(),
+		cfg:     cfg,
+		reg:     newRegistry(cfg.MaxScenes),
+		cache:   newTileCache(cfg.CacheBytes, cfg.PinCacheBytes),
+		pool:    par.NewPool(cfg.Workers, cfg.QueueDepth),
+		met:     newMetrics(),
+		cluster: cfg.Cluster,
+		flights: make(map[string]*flight),
+	}
+	if s.cluster != nil {
+		// No client-level timeout: every proxied call carries a context
+		// deadline, and a fleet-internal client reusing connections is
+		// the whole point.
+		s.peerClient = &http.Client{}
 	}
 	if cfg.PrefetchQueue > 0 {
 		s.prefetch = par.NewPool(cfg.PrefetchWorkers, cfg.PrefetchQueue)
@@ -174,11 +206,22 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/scene/{id}", s.instrument("scene_get", s.handleSceneGet))
 	mux.HandleFunc("GET /v1/scene/{id}/tile/{win}", s.instrument("tile", s.handleTile))
 	mux.HandleFunc("GET /v1/scene/{id}/tile/{z}/{xy}", s.instrument("tilez", s.handleTileZ))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
+	mux.HandleFunc("GET /v1/info", s.instrument("info", s.handleInfo))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
 	return s
 }
+
+// BeginDrain flips the daemon into drain mode ahead of an HTTP
+// shutdown: /healthz turns 503 (so peer probers route new traffic
+// away) and proxied tile requests from peers are refused immediately
+// with 503 + Retry-After — the peer falls back to a local render
+// instead of queueing work on a node that is about to stop. Direct
+// client requests keep being served until the listener drains: they
+// have nowhere else to go.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Handler returns the daemon's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -259,7 +302,15 @@ func (s *Server) handleScenePost(w http.ResponseWriter, r *http.Request) {
 	if created {
 		code = http.StatusCreated
 	}
-	writeJSON(w, code, map[string]any{"id": entry.ID, "created": created})
+	doc := map[string]any{"id": entry.ID, "created": created}
+	if s.cluster != nil && r.Header.Get(headerReplicated) == "" {
+		// First-hand registration on a fleet node: replicate the
+		// canonical JSON to every peer so any node can serve this
+		// scene's tiles. Replicated posts carry headerReplicated and do
+		// not fan out again.
+		doc["replicated"] = s.fanoutScene(r.Context(), entry.Canonical)
+	}
+	writeJSON(w, code, doc)
 }
 
 func (s *Server) handleSceneGet(w http.ResponseWriter, r *http.Request) {
@@ -274,15 +325,25 @@ func (s *Server) handleSceneGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		// Draining reads as unhealthy so peer probers (and any load
+		// balancer) steer traffic away before the listener closes.
+		writePlain(w, http.StatusServiceUnavailable, "draining\n")
+		return
+	}
+	writePlain(w, http.StatusOK, "ok\n")
+}
+
+func writePlain(w http.ResponseWriter, code int, body string) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	_, _ = io.WriteString(w, "ok\n")
+	w.WriteHeader(code)
+	_, _ = io.WriteString(w, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	s.met.writePrometheus(w, []gaugeFn{
+	s.met.writePrometheus(w, append([]gaugeFn{
 		{"rrsd_queue_depth", "Renders accepted but not yet started.", func() int64 { return int64(s.pool.QueueDepth()) }},
 		{"rrsd_scenes", "Scenes registered.", func() int64 { return int64(s.reg.len()) }},
 		{"rrsd_tile_cache_bytes", "Bytes held by the tile LRU (both tiers).", s.cache.bytes},
@@ -295,7 +356,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 			return int64(s.prefetch.QueueDepth())
 		}},
-	})
+	}, s.clusterGauges()...))
+}
+
+// clusterGauges contributes the fleet-view gauges when clustered.
+func (s *Server) clusterGauges() []gaugeFn {
+	if s.cluster == nil {
+		return nil
+	}
+	return []gaugeFn{
+		{"rrsd_cluster_epoch", "Local membership-view epoch (bumps on every liveness or set change).", func() int64 { return int64(s.cluster.Epoch()) }},
+		{"rrsd_cluster_peers", "Fleet size in the current peer set (including self).", func() int64 { return int64(s.cluster.Size()) }},
+		{"rrsd_cluster_peers_alive", "Peers currently passing health probes (including self).", func() int64 { return int64(s.cluster.AliveCount()) }},
+		{"rrsd_draining", "1 while the daemon refuses proxied peer traffic ahead of shutdown.", func() int64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		}},
+	}
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {

@@ -221,16 +221,45 @@ func neighborTiles(x, y int64) [][2]int64 {
 }
 
 // serveTile is the shared render-or-cache path behind both tile routes.
-// The fast path is a pure cache read; misses pass admission control
-// (bounded pool + queue, shedding with 429) and render under the
-// per-request deadline.
+// The fast path is a pure cache read; misses in cluster mode first try
+// the tile's owning shard (DESIGN.md §16) before passing admission
+// control (bounded pool + queue, shedding with 429) and rendering
+// locally under the per-request deadline.
 func (s *Server) serveTile(w http.ResponseWriter, r *http.Request, entry *sceneEntry, level int, win window, p tileParams) {
 	key := cacheKey(entry.ID, level, p.seed, win, p.format, p.precision)
+	fromPeer := s.cluster != nil && r.Header.Get(headerPeer) != ""
+	if fromPeer && s.draining.Load() {
+		// Ahead of shutdown: shed peer traffic immediately so the
+		// sender falls back to its own renderer (drain ordering,
+		// DESIGN.md §16). Direct clients keep being served below.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if s.cluster != nil {
+		w.Header().Set(headerServedBy, s.cluster.Self())
+	}
 	if e, ok := s.cache.get(key); ok {
 		s.met.cacheHits.Add(1)
 		s.met.levelHits[level].Add(1)
 		writeTile(w, e, win, "hit")
 		return
+	}
+	if s.cluster != nil && !fromPeer {
+		if owner, ok := s.cluster.Owner(key); ok {
+			w.Header().Set(headerShard, owner.Name)
+			if owner.Name != s.cluster.Self() {
+				// Not ours: the owner's LRU is the authoritative hot
+				// cache for this key. On failure fetchFromOwner has
+				// counted the per-peer fallback reason and we render
+				// locally below.
+				if e, ownerCache, ok := s.fetchFromOwner(r.Context(), r.URL.RequestURI(), owner, level, key); ok {
+					w.Header().Set(headerServedBy, owner.Name)
+					writeTile(w, e, win, ownerCache)
+					return
+				}
+			}
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)

@@ -68,3 +68,109 @@ if [[ "$LOAD_SECS" != "0" ]]; then
     wait "$RRSD_PID"
     rm -rf "$LOAD_DIR"
 fi
+
+# Cluster leg: aggregate closed-loop QPS of a 1-node fleet vs a
+# CLUSTER_NODES-node fleet, each daemon pinned to GOMAXPROCS=1 so the
+# fleet size — not the host scheduler — sets the render-CPU ceiling.
+# Both runs are recorded as BenchmarkClusterQPS/nodes=N entries in
+# CLUSTER_OUT. The >=3x scaling gate (and the per-node cache-hit spread
+# check) only fires when the host has enough cores to actually host the
+# fleet plus the load generator (nproc > CLUSTER_NODES); on smaller
+# machines the numbers are still recorded, with a note, because N
+# single-core daemons multiplexed onto one core cannot demonstrate
+# scaling no matter how correct the sharding is. Tunables:
+#   CLUSTER_SECS   seconds per fleet run (default LOAD_SECS; 0 skips)
+#   CLUSTER_NODES  fleet size for the scaled run (default 4)
+#   CLUSTER_OUT    output path (default BENCH_<YYYY-MM-DD>-cluster.json)
+CLUSTER_SECS="${CLUSTER_SECS:-$LOAD_SECS}"
+CLUSTER_NODES="${CLUSTER_NODES:-4}"
+CLUSTER_OUT="${CLUSTER_OUT:-BENCH_$(date +%Y-%m-%d)-cluster.json}"
+if [[ "$CLUSTER_SECS" != "0" ]]; then
+    CORES="$(nproc)"
+    CL_DIR="$(mktemp -d)"
+    go build -o "$CL_DIR/rrsd" ./cmd/rrsd
+    go build -o "$CL_DIR/rrsload" ./cmd/rrsload
+
+    # run_fleet N OUTFILE: bring up an N-node cluster (peers-file
+    # bootstrap: ports are only known after every member binds), drive
+    # it closed-loop with rrsload, tee the report to OUTFILE, tear down.
+    run_fleet() {
+        local n="$1" outfile="$2"
+        local pids=() urls=() i name addr
+        echo '[]' > "$CL_DIR/peers.json"
+        for i in $(seq 1 "$n"); do
+            GOMAXPROCS=1 "$CL_DIR/rrsd" -addr 127.0.0.1:0 \
+                -portfile "$CL_DIR/port.n$i" -node "n$i" \
+                -peers-file "$CL_DIR/peers.json" -probe-interval 250ms \
+                -tile-edge 64 -q &
+            pids+=($!)
+        done
+        local members=""
+        for i in $(seq 1 "$n"); do
+            for _ in $(seq 1 100); do
+                [[ -s "$CL_DIR/port.n$i" ]] && break
+                sleep 0.1
+            done
+            addr="$(cat "$CL_DIR/port.n$i")"
+            urls+=("http://$addr")
+            members+="${members:+,}{\"name\":\"n$i\",\"url\":\"http://$addr\"}"
+        done
+        echo "[$members]" > "$CL_DIR/peers.json"
+        for i in $(seq 1 "$n"); do
+            for _ in $(seq 1 100); do
+                [[ "$(curl -sf "http://$(cat "$CL_DIR/port.n$i")/v1/cluster" \
+                    | grep -o '"name"' | wc -l)" == "$n" ]] && break
+                sleep 0.1
+            done
+        done
+        local urllist
+        urllist="$(IFS=,; echo "${urls[*]}")"
+        "$CL_DIR/rrsload" -url "$urllist" -duration "${CLUSTER_SECS}s" \
+            -qps 0 -c $((4 * n)) -walk zoom -zmax 3 | tee "$outfile"
+        local pid
+        for pid in "${pids[@]}"; do kill -TERM "$pid"; done
+        for pid in "${pids[@]}"; do wait "$pid"; done
+    }
+
+    echo "bench.sh: cluster leg, 1-node fleet (${CLUSTER_SECS}s closed loop)"
+    run_fleet 1 "$CL_DIR/load.1"
+    echo "bench.sh: cluster leg, ${CLUSTER_NODES}-node fleet (${CLUSTER_SECS}s closed loop)"
+    run_fleet "$CLUSTER_NODES" "$CL_DIR/load.n"
+
+    # "rrsload: R requests in E (Q req/s), ..." -> synthesized bench
+    # lines so the fleet comparison lands in the same JSON schema as
+    # every other perf record in the repo.
+    qps_of() { sed -nE 's/^rrsload: [0-9]+ requests in [^(]*\(([0-9.]+) req\/s\).*/\1/p' "$1" | head -1; }
+    reqs_of() { sed -nE 's/^rrsload: ([0-9]+) requests in .*/\1/p' "$1" | head -1; }
+    QPS1="$(qps_of "$CL_DIR/load.1")"
+    QPSN="$(qps_of "$CL_DIR/load.n")"
+    {
+        awk -v r="$(reqs_of "$CL_DIR/load.1")" -v q="$QPS1" \
+            'BEGIN { printf "BenchmarkClusterQPS/nodes=1 \t%d\t%.0f ns/op\t%.1f req/s\n", r, 1e9/q, q }'
+        awk -v n="$CLUSTER_NODES" -v r="$(reqs_of "$CL_DIR/load.n")" -v q="$QPSN" \
+            'BEGIN { printf "BenchmarkClusterQPS/nodes=%d \t%d\t%.0f ns/op\t%.1f req/s\n", n, r, 1e9/q, q }'
+    } | tee /dev/stderr | go run ./cmd/rrsbench -o "$CLUSTER_OUT"
+    echo "bench.sh: wrote $CLUSTER_OUT"
+
+    if (( CORES > CLUSTER_NODES )); then
+        echo "bench.sh: cluster scaling gate (${CLUSTER_NODES}-node fleet must reach >=3x 1-node QPS)"
+        awk -v q1="$QPS1" -v qn="$QPSN" 'BEGIN {
+            s = qn / q1
+            printf "bench.sh: aggregate speedup %.2fx (%.1f -> %.1f req/s)\n", s, q1, qn
+            exit (s >= 3.0) ? 0 : 1
+        }' || { echo "bench.sh: cluster scaling below 3x" >&2; exit 1; }
+        # Shard balance: per-node cache-hit rates within 10 points.
+        HITS="$(sed -nE 's/^rrsload: node .*: [0-9]+ requests \(([0-9.]+) req\/s\), ([0-9.]+)% cache hits.*/\2/p' "$CL_DIR/load.n")"
+        echo "$HITS" | awk '
+            { if (NR == 1 || $1 < lo) lo = $1; if (NR == 1 || $1 > hi) hi = $1 }
+            END {
+                printf "bench.sh: per-node cache-hit spread %.1f points (%.1f%% .. %.1f%%)\n", hi - lo, lo, hi
+                exit (hi - lo <= 10.0) ? 0 : 1
+            }' || { echo "bench.sh: per-node cache-hit rates spread by more than 10 points" >&2; exit 1; }
+    else
+        awk -v q1="$QPS1" -v qn="$QPSN" -v c="$CORES" -v n="$CLUSTER_NODES" 'BEGIN {
+            printf "bench.sh: cluster scaling gate skipped: %d core(s) cannot host a %d-node fleet plus the load generator (measured %.1f -> %.1f req/s)\n", c, n, q1, qn
+        }'
+    fi
+    rm -rf "$CL_DIR"
+fi

@@ -107,7 +107,7 @@ else
     step_begin "go test -race (concurrency-sensitive packages)"
     go test -race ./internal/par ./internal/fft ./internal/convgen \
         ./internal/inhomo ./internal/rng ./internal/grid \
-        ./internal/service ./cmd/rrsd ./cmd/rrsload
+        ./internal/service ./internal/cluster ./cmd/rrsd ./cmd/rrsload
 fi
 step_end
 
@@ -194,6 +194,81 @@ done
 [[ "$SHUTDOWN_OK" == "1" ]] || { echo "rrsd did not exit within 10s of SIGTERM" >&2; kill -9 "$RRSD_PID"; exit 1; }
 wait "$RRSD_PID" || { echo "rrsd exited non-zero after SIGTERM" >&2; exit 1; }
 rm -rf "$SMOKE_DIR"
+step_end
+
+# Cluster smoke: three clustered daemons assemble through a peers file
+# (ports are only known after every member binds), a scene registered on
+# node A fans out to the whole fleet, and the golden tile fetched
+# through node B — whichever shard owns it — is byte-identical to node
+# A's render. Finally every node must drain and exit 0 on SIGTERM.
+step_begin "cluster smoke (3-node assembly, scene fan-out, cross-node golden tile, drain)"
+CL_DIR="$(mktemp -d)"
+go build -o "$CL_DIR/rrsd" ./cmd/rrsd
+echo '[]' > "$CL_DIR/peers.json"
+CL_PIDS=()
+for n in a b c; do
+    "$CL_DIR/rrsd" -addr 127.0.0.1:0 -portfile "$CL_DIR/port.$n" \
+        -node "$n" -peers-file "$CL_DIR/peers.json" -probe-interval 200ms \
+        -tile-edge 64 -q &
+    CL_PIDS+=($!)
+done
+for n in a b c; do
+    for _ in $(seq 1 100); do
+        [[ -s "$CL_DIR/port.$n" ]] && break
+        sleep 0.1
+    done
+    [[ -s "$CL_DIR/port.$n" ]] || { echo "cluster node $n never bound" >&2; exit 1; }
+done
+CL_A="$(cat "$CL_DIR/port.a")"
+CL_B="$(cat "$CL_DIR/port.b")"
+CL_C="$(cat "$CL_DIR/port.c")"
+cat > "$CL_DIR/peers.json" <<EOF
+[{"name":"a","url":"http://$CL_A"},{"name":"b","url":"http://$CL_B"},{"name":"c","url":"http://$CL_C"}]
+EOF
+# Wait for every node's membership view to reach three peers.
+for n in a b c; do
+    ADDR="$(cat "$CL_DIR/port.$n")"
+    CONVERGED=0
+    for _ in $(seq 1 100); do
+        if [[ "$(curl -sf "http://$ADDR/v1/cluster" | grep -o '"name"' | wc -l)" == "3" ]]; then
+            CONVERGED=1; break
+        fi
+        sleep 0.1
+    done
+    [[ "$CONVERGED" == "1" ]] || { echo "node $n never converged on the 3-peer map" >&2; exit 1; }
+done
+SCENE='{"nx":64,"ny":64,"method":"homogeneous","spectrum":{"family":"gaussian","h":1,"cl":8}}'
+CL_REG="$(curl -sf -X POST --data "$SCENE" "http://$CL_A/v1/scene")"
+CL_ID="$(sed -E 's/.*"id":"([0-9a-f]+)".*/\1/' <<<"$CL_REG")"
+[[ "$CL_ID" == "63d26a72bd0db3592b40fdb04c733d4a" ]] \
+    || { echo "clustered scene id drifted: $CL_ID" >&2; exit 1; }
+grep -q '"replicated":2' <<<"$CL_REG" \
+    || { echo "fan-out incomplete: $CL_REG" >&2; exit 1; }
+# The fan-out made the scene servable on every node without re-posting.
+curl -sf "http://$CL_B/v1/scene/$CL_ID" > /dev/null
+curl -sf "http://$CL_C/v1/scene/$CL_ID" > /dev/null
+# The golden tile through node B must match node A's bytes exactly,
+# whichever shard owns the key (proxy and local render are equivalent).
+CL_TILE="/v1/scene/$CL_ID/tile/0,0,64x64?seed=1&format=f32"
+curl -sf -D "$CL_DIR/b.hdr" "http://$CL_B$CL_TILE" -o "$CL_DIR/tile-b.f32"
+curl -sf "http://$CL_A$CL_TILE" -o "$CL_DIR/tile-a.f32"
+cmp "$CL_DIR/tile-a.f32" "$CL_DIR/tile-b.f32" \
+    || { echo "tile bytes differ across nodes" >&2; exit 1; }
+if [[ "$(uname -m)" == "x86_64" ]]; then
+    echo "$GOLDEN_TILE_SHA256  $CL_DIR/tile-b.f32" | sha256sum -c - >/dev/null
+fi
+grep -qi '^X-RRS-Served-By:' "$CL_DIR/b.hdr" \
+    || { echo "cluster headers missing on tile response" >&2; exit 1; }
+for pid in "${CL_PIDS[@]}"; do kill -TERM "$pid"; done
+CL_DEADLINE=$((SECONDS + 15))
+for pid in "${CL_PIDS[@]}"; do
+    while kill -0 "$pid" 2>/dev/null; do
+        (( SECONDS < CL_DEADLINE )) || { echo "cluster node did not exit within deadline" >&2; kill -9 "${CL_PIDS[@]}" 2>/dev/null; exit 1; }
+        sleep 0.1
+    done
+    wait "$pid" || { echo "cluster node exited non-zero after SIGTERM" >&2; exit 1; }
+done
+rm -rf "$CL_DIR"
 step_end
 
 step_begin "bench smoke (compile + one iteration per benchmark)"
